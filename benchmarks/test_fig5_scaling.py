@@ -1,0 +1,126 @@
+"""Figures 5a-5d: strong and weak scaling of iFDK (measured vs theoretical peak).
+
+The stacked bars of Figure 5 decompose the end-to-end runtime into
+T_compute, T_D2H, T_reduce and T_store.  The "theoretical peak" series of
+the paper is exactly the performance model of Section 4.2, which is what is
+regenerated here; a scaled-down functional run validates that the same
+configuration objects actually execute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_table,
+    scaled_for_functional_run,
+    strong_scaling_4k,
+    strong_scaling_8k,
+    weak_scaling_4k,
+    weak_scaling_8k,
+)
+from repro.core import default_geometry_for_problem, forward_project_analytic, uniform_sphere_phantom
+from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKConfig, IFDKFramework, IFDKPerformanceModel
+
+#: Paper Figure 5a/5b measured T_compute values (seconds) for reference.
+PAPER_5A_COMPUTE = {32: 70.2, 64: 35.6, 128: 18.9, 256: 10.2, 512: 5.6, 1024: 3.3, 2048: 2.1}
+PAPER_5B_COMPUTE = {256: 101.3, 512: 53.1, 1024: 29.7, 2048: 17.2}
+#: Paper Figure 5c/5d measured T_compute values (seconds, roughly constant).
+PAPER_5C_COMPUTE = {32: 9.9, 64: 10.0, 128: 10.1, 256: 10.8, 512: 10.9, 1024: 11.0, 2048: 11.0}
+PAPER_5D_COMPUTE = {256: 28.9, 512: 29.1, 1024: 30.0, 2048: 30.6}
+
+
+def _stacked_rows(workloads, paper_compute):
+    model = IFDKPerformanceModel(ABCI_MICROBENCHMARKS)
+    rows = []
+    for w in workloads:
+        b = model.breakdown(w.problem, rows=w.rows, columns=w.columns)
+        rows.append(
+            {
+                "N_gpus": w.n_gpus,
+                "T_compute": b.t_compute,
+                "T_compute (paper)": paper_compute.get(w.n_gpus, float("nan")),
+                "T_D2H": b.t_d2h,
+                "T_reduce": b.t_reduce,
+                "T_store": b.t_store,
+                "T_runtime": b.t_runtime,
+            }
+        )
+    return rows
+
+
+_COLUMNS = ["N_gpus", "T_compute", "T_compute (paper)", "T_D2H", "T_reduce", "T_store", "T_runtime"]
+
+
+def test_fig5a_strong_scaling_4k(benchmark):
+    rows = benchmark(_stacked_rows, strong_scaling_4k(), PAPER_5A_COMPUTE)
+    print()
+    print(format_table(rows, _COLUMNS, title="Figure 5a — strong scaling, 4K (R=32)"))
+    compute = [r["T_compute"] for r in rows]
+    # Strong scaling: T_compute falls roughly with 1/N_gpus until T_post dominates.
+    assert all(b < a for a, b in zip(compute, compute[1:]))
+    assert compute[0] / compute[-1] > 20
+    # T_post terms are constant across the sweep (R fixed).
+    assert len({round(r["T_store"], 3) for r in rows}) == 1
+    # End-to-end: the paper solves 4K within ~30 s at 2,048 GPUs.
+    assert rows[-1]["T_runtime"] < 35.0
+
+
+def test_fig5b_strong_scaling_8k(benchmark):
+    rows = benchmark(_stacked_rows, strong_scaling_8k(), PAPER_5B_COMPUTE)
+    print()
+    print(format_table(rows, _COLUMNS, title="Figure 5b — strong scaling, 8K (R=256)"))
+    compute = [r["T_compute"] for r in rows]
+    assert all(b < a for a, b in zip(compute, compute[1:]))
+    # The 2 TB store dominates the runtime, as in the paper (~79 s).
+    assert rows[-1]["T_store"] > rows[-1]["T_compute"]
+    # Paper: 8K solved within ~2 minutes at 2,048 GPUs.
+    assert rows[-1]["T_runtime"] < 160.0
+
+
+def test_fig5c_weak_scaling_4k(benchmark):
+    rows = benchmark(_stacked_rows, weak_scaling_4k(), PAPER_5C_COMPUTE)
+    print()
+    print(format_table(rows, _COLUMNS, title="Figure 5c — weak scaling, 4K (Np = 16*N_gpus)"))
+    compute = [r["T_compute"] for r in rows]
+    # Weak scaling: per-GPU work constant, so T_compute stays flat (within 25%).
+    assert max(compute) / min(compute) < 1.25
+
+
+def test_fig5d_weak_scaling_8k(benchmark):
+    rows = benchmark(_stacked_rows, weak_scaling_8k(), PAPER_5D_COMPUTE)
+    print()
+    print(format_table(rows, _COLUMNS, title="Figure 5d — weak scaling, 8K (Np = 4*N_gpus)"))
+    compute = [r["T_compute"] for r in rows]
+    assert max(compute) / min(compute) < 1.25
+
+
+def test_fig5_functional_scaled_down_run(benchmark):
+    """Execute one strong-scaling point end-to-end at laptop scale.
+
+    This validates that the configurations behind Figure 5 actually run
+    through the full distributed pipeline (PFS load, filtering, AllGather,
+    back-projection, Reduce, store) and produce a correct volume.
+    """
+    workload = strong_scaling_4k()[0]
+    problem, rows, columns = scaled_for_functional_run(workload, max_ranks=8, max_volume=32,
+                                                       max_detector=48, max_projections=16)
+    geometry = default_geometry_for_problem(
+        nu=problem.nu, nv=problem.nv, np_=problem.np_,
+        nx=problem.nx, ny=problem.ny, nz=problem.nz,
+    )
+    stack = forward_project_analytic(uniform_sphere_phantom(), geometry)
+    config = IFDKConfig(geometry=geometry, rows=rows, columns=columns)
+
+    def run():
+        return IFDKFramework(config).reconstruct(stack)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.all(np.isfinite(result.volume.data))
+    # The reconstructed sphere centre should be close to its true density 1.0.
+    center = result.volume.data[problem.nz // 2, problem.ny // 2, problem.nx // 2]
+    assert center == pytest.approx(1.0, abs=0.3)
+    print(f"\nfunctional run: {result.wall_seconds:.2f} s wall, "
+          f"{result.gups:.4f} GUPS measured, modelled at-scale runtime "
+          f"{result.modelled.t_runtime:.1f} s")

@@ -1,0 +1,54 @@
+"""Figure 6: end-to-end GUPS versus GPU count for three output sizes."""
+
+from __future__ import annotations
+
+from repro.bench import figure6_workloads, format_scaling_figure
+from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKPerformanceModel
+
+#: Paper Figure 6 values (GUPS) for reference.
+PAPER_FIG6 = {
+    "2048^3": {4: 406, 8: 694, 16: 1134, 32: 1680, 64: 2229, 128: 2643,
+               256: 2952, 512: 3151, 1024: 3274, 2048: 3244},
+    "4096^3": {32: 3495, 64: 5851, 128: 9134, 256: 13240, 512: 17361,
+               1024: 20480, 2048: 22599},
+    "8192^3": {256: 19778, 512: 33376, 1024: 49863, 2048: 74359},
+}
+
+
+def _series():
+    model = IFDKPerformanceModel(ABCI_MICROBENCHMARKS)
+    out = {}
+    for label, workloads in figure6_workloads().items():
+        out[label] = [
+            {
+                "gpus": w.n_gpus,
+                "gups": model.gups(w.problem, rows=w.rows, columns=w.columns),
+                "paper": PAPER_FIG6[label].get(w.n_gpus, float("nan")),
+            }
+            for w in workloads
+        ]
+    return out
+
+
+def test_fig6_end_to_end_gups(benchmark):
+    series = benchmark(_series)
+    print()
+    print(format_scaling_figure(series, x_key="gpus", y_key="gups",
+                                title="Figure 6 — end-to-end GUPS (model)"))
+    print(format_scaling_figure(
+        {k: v for k, v in series.items()}, x_key="gpus", y_key="paper",
+        title="Figure 6 — end-to-end GUPS (paper)"))
+
+    for label, points in series.items():
+        gups = [p["gups"] for p in points]
+        # Throughput is non-decreasing with GPU count for every output size.
+        assert all(b >= a * 0.999 for a, b in zip(gups, gups[1:])), label
+    # The paper's observation: the 8192^3 series scales further than 4096^3
+    # (better device utilization), and both exceed the 2048^3 plateau.
+    last = {label: points[-1]["gups"] for label, points in series.items()}
+    assert last["8192^3"] > last["4096^3"] > last["2048^3"]
+    # The 2048^3 series saturates early (its T_post floor dominates sooner):
+    # the paper measures only a ~1.2x gain from 128 to 2,048 GPUs; the ideal
+    # model keeps a little more headroom, so the bound is looser here.
+    s2k = [p["gups"] for p in series["2048^3"]]
+    assert s2k[-1] < 2.0 * s2k[len(s2k) // 2]

@@ -1,0 +1,42 @@
+"""Section 3.2.2: the 1/6 reduction in projection-coordinate computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TABLE4_PROBLEMS, format_table
+from repro.core.backprojection import operation_counts, projection_compute_reduction
+
+
+def test_opcount_reduction_approaches_one_sixth(benchmark):
+    def build():
+        rows = []
+        for problem in TABLE4_PROBLEMS:
+            std = operation_counts(problem, "standard")
+            new = operation_counts(problem, "proposed")
+            rows.append(
+                {
+                    "problem": str(problem),
+                    "standard inner products": std.inner_products,
+                    "proposed inner products": new.inner_products,
+                    "ratio": projection_compute_reduction(problem),
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    print()
+    print(
+        format_table(
+            rows,
+            ["problem", "standard inner products", "proposed inner products", "ratio"],
+            title="Projection-computation reduction (paper claim: 1/6)",
+            float_format="{:.4f}",
+        )
+    )
+    for row in rows:
+        # The reduction approaches 1/6 from above; the per-column terms only
+        # matter for very shallow volumes (none in Table 4).
+        assert 1 / 6 <= row["ratio"] < 0.21
+    deep = [r for r in rows if r["problem"].endswith("2048")]
+    assert all(r["ratio"] == pytest.approx(1 / 6, rel=0.01) for r in deep)

@@ -1,0 +1,36 @@
+"""Table 3: characteristics of the back-projection kernel variants."""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.gpusim import KERNEL_VARIANTS
+
+
+def test_table3_kernel_characteristics(benchmark):
+    """Regenerate the Table 3 characteristics matrix."""
+
+    def build():
+        rows = []
+        for kernel in KERNEL_VARIANTS:
+            row = {"Kernel": kernel.name}
+            row.update(
+                {k: ("yes" if v else "no") for k, v in kernel.characteristics().items()}
+            )
+            rows.append(row)
+        return rows
+
+    rows = benchmark(build)
+    print()
+    print(
+        format_table(
+            rows,
+            ["Kernel", "Texture cache", "L1 cache", "Transpose projection", "Transpose volume"],
+            title="Table 3 — kernel characteristics",
+        )
+    )
+    # The defining characteristics the paper calls out.
+    by_name = {r["Kernel"]: r for r in rows}
+    assert by_name["RTK-32"]["Transpose volume"] == "no"
+    assert by_name["L1-Tran"]["L1 cache"] == "yes"
+    assert by_name["Bp-L1"]["Texture cache"] == "no"
+    assert by_name["Tex-Tran"]["Transpose projection"] == "yes"

@@ -1,0 +1,76 @@
+"""Table 5: breakdown of T_compute for the 4K and 8K strong-scaling runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PROBLEM_4K, PROBLEM_8K, format_table
+from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKPerformanceModel
+
+#: The paper's Table 5 (T_flt upper bounds, T_AllGather, T_bp, T_compute, delta).
+PAPER_TABLE5 = {
+    ("4096^3", 32): dict(t_allgather=31.4, t_bp=54.8, t_compute=70.2, delta=1.2),
+    ("4096^3", 64): dict(t_allgather=20.7, t_bp=27.5, t_compute=35.6, delta=1.4),
+    ("4096^3", 128): dict(t_allgather=15.2, t_bp=14.0, t_compute=18.9, delta=1.6),
+    ("4096^3", 256): dict(t_allgather=7.4, t_bp=7.0, t_compute=10.2, delta=1.5),
+    ("8192^3", 256): dict(t_allgather=46.9, t_bp=83.0, t_compute=101.3, delta=1.3),
+    ("8192^3", 512): dict(t_allgather=26.9, t_bp=41.5, t_compute=53.1, delta=1.3),
+    ("8192^3", 1024): dict(t_allgather=17.0, t_bp=20.8, t_compute=29.7, delta=1.3),
+    ("8192^3", 2048): dict(t_allgather=8.6, t_bp=10.4, t_compute=17.2, delta=1.2),
+}
+
+
+def _build_rows():
+    model = IFDKPerformanceModel(ABCI_MICROBENCHMARKS)
+    rows = []
+    for (volume, gpus), paper in PAPER_TABLE5.items():
+        problem = PROBLEM_4K if volume == "4096^3" else PROBLEM_8K
+        r = 32 if volume == "4096^3" else 256
+        c = gpus // r
+        breakdown = model.breakdown(problem, rows=r, columns=c)
+        rows.append(
+            {
+                "volume": volume,
+                "N_gpus": gpus,
+                "T_flt": breakdown.t_flt,
+                "T_AllGather": breakdown.t_allgather,
+                "T_AllGather (paper)": paper["t_allgather"],
+                "T_bp": breakdown.t_bp,
+                "T_bp (paper)": paper["t_bp"],
+                "T_compute (paper)": paper["t_compute"],
+                "delta (paper)": paper["delta"],
+            }
+        )
+    return rows
+
+
+def test_table5_compute_breakdown(benchmark):
+    """Regenerate Table 5's overlapped-compute breakdown from the model."""
+    rows = benchmark(_build_rows)
+    print()
+    print(
+        format_table(
+            rows,
+            [
+                "volume", "N_gpus", "T_flt", "T_AllGather", "T_AllGather (paper)",
+                "T_bp", "T_bp (paper)", "T_compute (paper)", "delta (paper)",
+            ],
+            title="Table 5 — breakdown of T_compute (model vs paper)",
+        )
+    )
+    by_key = {(r["volume"], r["N_gpus"]): r for r in rows}
+    for key, paper in PAPER_TABLE5.items():
+        row = by_key[key]
+        # T_flt is tiny (the paper reports <0.7-1.4 s everywhere).
+        assert row["T_flt"] < 3.0
+        # The back-projection term tracks the paper within ~40%; the AllGather
+        # term is looser (the ideal model halves per column added, while the
+        # measured collective saturates under fabric contention at high C).
+        assert row["T_AllGather"] == pytest.approx(paper["t_allgather"], rel=0.6)
+        assert row["T_bp"] == pytest.approx(paper["t_bp"], rel=0.4)
+        # And both shrink as GPUs are added (strong scaling).
+    for volume, r in (("4096^3", 32), ("8192^3", 256)):
+        series = [by_key[(volume, g)]["T_bp"] for g in sorted(
+            gpus for vol, gpus in PAPER_TABLE5 if vol == volume
+        )]
+        assert all(b < a for a, b in zip(series, series[1:]))

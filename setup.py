@@ -1,0 +1,9 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels (no
+``wheel`` package available).  All metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of iFDK (SC'19).
+
+``repro`` is a production-quality Python library reproducing *"iFDK: A
+Scalable Framework for Instant High-resolution Image Reconstruction"*
+(Chen, Wahib, Takizawa, Takano, Matsuoka — SC 2019).
+
+Sub-packages
+------------
+
+``repro.core``
+    The FDK algorithms: geometry, phantoms, forward projection, filtering
+    (Algorithm 1), the standard and proposed back-projection algorithms
+    (Algorithms 2 and 4), iterative solvers and quality metrics.
+``repro.gpusim``
+    A simulated GPU substrate: device model, memory tracking, warp/shuffle
+    semantics and the five back-projection kernel variants of Table 3 with
+    an analytic throughput model (Table 4).
+``repro.mpi``
+    An in-process MPI substrate: SPMD engine, collectives and the 2-D rank
+    grid used by the distributed framework, plus a collective cost model.
+``repro.pfs``
+    A simulated parallel file system (GPFS-like) with striping and
+    bandwidth modelling.
+``repro.pipeline``
+    The iFDK distributed framework: problem decomposition, the three-thread
+    pipeline, the end-to-end driver and the Eq. 8–19 performance model.
+``repro.bench``
+    Workload definitions and reporting helpers shared by the benchmark
+    harness that regenerates every table and figure of the paper.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

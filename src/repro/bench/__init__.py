@@ -1,0 +1,44 @@
+"""Workload definitions, calibration constants and reporting helpers shared
+by the benchmark harness that regenerates the paper's tables and figures."""
+
+from .calibration import PAPER_CALIBRATION, CalibrationEntry, abci_microbenchmarks
+from .reporting import format_scaling_figure, format_table, paper_reference_table4
+from .workloads import (
+    FIGURE6_GPU_COUNTS,
+    PROBLEM_2K,
+    PROBLEM_4K,
+    PROBLEM_8K,
+    STRONG_SCALING_4K_GPUS,
+    STRONG_SCALING_8K_GPUS,
+    TABLE4_PROBLEMS,
+    DistributedWorkload,
+    figure6_workloads,
+    scaled_for_functional_run,
+    strong_scaling_4k,
+    strong_scaling_8k,
+    weak_scaling_4k,
+    weak_scaling_8k,
+)
+
+__all__ = [
+    "CalibrationEntry",
+    "DistributedWorkload",
+    "FIGURE6_GPU_COUNTS",
+    "PAPER_CALIBRATION",
+    "PROBLEM_2K",
+    "PROBLEM_4K",
+    "PROBLEM_8K",
+    "STRONG_SCALING_4K_GPUS",
+    "STRONG_SCALING_8K_GPUS",
+    "TABLE4_PROBLEMS",
+    "abci_microbenchmarks",
+    "figure6_workloads",
+    "format_scaling_figure",
+    "format_table",
+    "paper_reference_table4",
+    "scaled_for_functional_run",
+    "strong_scaling_4k",
+    "strong_scaling_8k",
+    "weak_scaling_4k",
+    "weak_scaling_8k",
+]

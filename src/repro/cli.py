@@ -1,0 +1,187 @@
+"""Command-line interface for the iFDK reproduction.
+
+Three subcommands cover the workflows a downstream user needs:
+
+``reconstruct``
+    Synthesize Shepp-Logan projections for a given problem size and run the
+    FDK pipeline — single-node or distributed on the simulated cluster —
+    writing the volume (as ``.npy``) and a JSON report.
+``predict``
+    Evaluate the Eq. 8-19 performance model for a problem / GPU count and
+    print the runtime breakdown (the Figure 5 stacked bars as text).
+``table4``
+    Regenerate the Table 4 kernel-throughput comparison from the V100 cost
+    model.
+
+Invoke as ``python -m repro.cli <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from .bench import TABLE4_PROBLEMS, format_table, paper_reference_table4
+from .core import (
+    EllipsoidPhantom,
+    FDKReconstructor,
+    default_geometry_for_problem,
+    forward_project_analytic,
+    shepp_logan_ellipsoids,
+)
+from .core.types import problem_from_string
+from .gpusim import KERNEL_VARIANTS, BackprojectionCostModel, TESLA_V100
+from .pipeline import IFDKConfig, IFDKFramework, IFDKPerformanceModel, choose_grid
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iFDK reproduction: FDK reconstruction and performance models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("reconstruct", help="reconstruct a synthetic Shepp-Logan scan")
+    rec.add_argument("--problem", default="96x96x120->64x64x64",
+                     help="problem spec NuxNvxNp->NxxNyxNz (default: %(default)s)")
+    rec.add_argument("--algorithm", choices=("proposed", "standard"), default="proposed")
+    rec.add_argument("--ramp-filter", default="ram-lak")
+    rec.add_argument("--distributed", action="store_true",
+                     help="run on the simulated cluster instead of a single node")
+    rec.add_argument("--rows", type=int, default=None, help="R of the rank grid")
+    rec.add_argument("--columns", type=int, default=None, help="C of the rank grid")
+    rec.add_argument("--output", type=Path, default=None,
+                     help="write the volume to this .npy file")
+    rec.add_argument("--report", type=Path, default=None,
+                     help="write a JSON run report to this file")
+
+    pred = sub.add_parser("predict", help="evaluate the Eq. 8-19 performance model")
+    pred.add_argument("--problem", default="2048x2048x4096->4096x4096x4096")
+    pred.add_argument("--gpus", type=int, default=2048)
+    pred.add_argument("--rows", type=int, default=None,
+                      help="override R (defaults to the Section 4.1.5 rule)")
+
+    sub.add_parser("table4", help="regenerate Table 4 from the V100 cost model")
+    return parser
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    problem = problem_from_string(args.problem)
+    geometry = default_geometry_for_problem(
+        nu=problem.nu, nv=problem.nv, np_=problem.np_,
+        nx=problem.nx, ny=problem.ny, nz=problem.nz,
+    )
+    phantom = EllipsoidPhantom(shepp_logan_ellipsoids())
+    print(f"forward projecting {problem} ...", file=sys.stderr)
+    stack = forward_project_analytic(phantom, geometry)
+
+    report: dict = {"problem": str(problem), "algorithm": args.algorithm}
+    if args.distributed:
+        rows = args.rows or 2
+        columns = args.columns or 2
+        config = IFDKConfig(geometry=geometry, rows=rows, columns=columns,
+                            ramp_filter=args.ramp_filter)
+        result = IFDKFramework(config).reconstruct(stack)
+        volume = result.volume
+        report.update(
+            mode="distributed",
+            rows=rows,
+            columns=columns,
+            wall_seconds=result.wall_seconds,
+            gups=result.gups,
+            overlap_delta=result.mean_overlap_delta(),
+            modelled_runtime_at_scale=result.modelled.t_runtime,
+        )
+    else:
+        reconstructor = FDKReconstructor(
+            geometry=geometry, ramp_filter=args.ramp_filter, algorithm=args.algorithm
+        )
+        fdk = reconstructor.reconstruct(stack)
+        volume = fdk.volume
+        report.update(
+            mode="single-node",
+            filter_seconds=fdk.filter_seconds,
+            backprojection_seconds=fdk.backprojection_seconds,
+            gups=fdk.gups,
+        )
+
+    report["volume_min"] = float(volume.data.min())
+    report["volume_max"] = float(volume.data.max())
+    if args.output is not None:
+        np.save(args.output, volume.data)
+        report["output"] = str(args.output)
+        print(f"volume written to {args.output}", file=sys.stderr)
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2))
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    problem = problem_from_string(args.problem)
+    if args.rows is not None:
+        rows = args.rows
+        if args.gpus % rows != 0:
+            print(f"error: {args.gpus} GPUs not divisible by R={rows}", file=sys.stderr)
+            return 2
+        columns = args.gpus // rows
+    else:
+        rows, columns = choose_grid(problem, args.gpus)
+    model = IFDKPerformanceModel()
+    breakdown = model.breakdown(problem, rows, columns)
+    rows_out = [
+        {"term": term, "seconds": seconds}
+        for term, seconds in breakdown.as_dict().items()
+        if term != "delta"
+    ]
+    print(format_table(
+        rows_out, ["term", "seconds"],
+        title=f"{problem} on {args.gpus} GPUs (R={rows}, C={columns})",
+        float_format="{:.2f}",
+    ))
+    print(f"delta = {breakdown.delta:.2f}, end-to-end GUPS = "
+          f"{problem.gups(breakdown.t_runtime):.0f}")
+    return 0
+
+
+def _cmd_table4(_: argparse.Namespace) -> int:
+    model = BackprojectionCostModel(TESLA_V100)
+    rows = []
+    for problem in TABLE4_PROBLEMS:
+        row = {"problem": str(problem), "alpha": problem.alpha}
+        for kernel in KERNEL_VARIANTS:
+            row[kernel.name] = model.gups(kernel, problem)
+            reference = paper_reference_table4[str(problem)][kernel.name]
+            row[f"{kernel.name} (paper)"] = float("nan") if reference is None else reference
+        rows.append(row)
+    columns = ["problem", "alpha"]
+    for kernel in KERNEL_VARIANTS:
+        columns += [kernel.name, f"{kernel.name} (paper)"]
+    print(format_table(rows, columns, title="Table 4 (model vs paper), GUPS"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "reconstruct":
+        return _cmd_reconstruct(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "table4":
+        return _cmd_table4(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Core algorithms of the iFDK reproduction.
+
+This package contains the paper's primary contribution — the FDK filtering
+and back-projection algorithms (standard and proposed variants) — together
+with the geometry, phantom, forward-projection and metric utilities needed
+to exercise them end-to-end.
+"""
+
+from .backprojection import (
+    BackProjector,
+    OperationCounts,
+    backproject_proposed,
+    backproject_standard,
+    operation_counts,
+    projection_compute_reduction,
+)
+from .fdk import FDKReconstructor, FDKResult, reconstruct_fdk
+from .iterative import IterativeResult, art, mlem, osem, sart, sirt
+from .filtering import (
+    RAMP_FILTERS,
+    FilteringStage,
+    cosine_weight_table,
+    fdk_weight_and_filter,
+    filter_projections,
+)
+from .forward import forward_project_analytic, forward_project_volume
+from .geometry import (
+    CBCTGeometry,
+    ProjectionMatrix,
+    default_geometry_for_problem,
+    make_projection_matrices,
+)
+from .interpolation import bilinear_interpolate, interp2, trilinear_interpolate
+from .metrics import gups, normalized_cross_correlation, psnr, rmse
+from .phantom import (
+    Ellipsoid,
+    EllipsoidPhantom,
+    point_grid_phantom,
+    shepp_logan_2d,
+    shepp_logan_3d,
+    shepp_logan_ellipsoids,
+    uniform_sphere_phantom,
+)
+from .symmetry import SymmetryReport, verify_geometry_symmetry
+from .types import (
+    DEFAULT_DTYPE,
+    ProjectionStack,
+    ReconstructionProblem,
+    Volume,
+    problem_from_string,
+)
+
+__all__ = [
+    "BackProjector",
+    "CBCTGeometry",
+    "IterativeResult",
+    "art",
+    "mlem",
+    "osem",
+    "sart",
+    "sirt",
+    "DEFAULT_DTYPE",
+    "Ellipsoid",
+    "EllipsoidPhantom",
+    "FDKReconstructor",
+    "FDKResult",
+    "FilteringStage",
+    "OperationCounts",
+    "ProjectionMatrix",
+    "ProjectionStack",
+    "RAMP_FILTERS",
+    "ReconstructionProblem",
+    "SymmetryReport",
+    "Volume",
+    "backproject_proposed",
+    "backproject_standard",
+    "bilinear_interpolate",
+    "cosine_weight_table",
+    "default_geometry_for_problem",
+    "fdk_weight_and_filter",
+    "filter_projections",
+    "forward_project_analytic",
+    "forward_project_volume",
+    "gups",
+    "interp2",
+    "make_projection_matrices",
+    "normalized_cross_correlation",
+    "operation_counts",
+    "point_grid_phantom",
+    "problem_from_string",
+    "projection_compute_reduction",
+    "psnr",
+    "reconstruct_fdk",
+    "rmse",
+    "shepp_logan_2d",
+    "shepp_logan_3d",
+    "shepp_logan_ellipsoids",
+    "trilinear_interpolate",
+    "uniform_sphere_phantom",
+    "verify_geometry_symmetry",
+]

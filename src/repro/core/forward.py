@@ -1,0 +1,212 @@
+"""Cone-beam forward projection.
+
+The paper synthesizes its input data by forward-projecting the Shepp-Logan
+phantom with RTK's forward-projection tool (Section 5.1).  This module plays
+that role and additionally provides the discrete forward operator needed by
+the iterative solvers (Section 6.2: ART, SART, MLEM, MBIR all re-use the
+same projection geometry).
+
+Two projectors are provided:
+
+* :func:`forward_project_analytic` — exact cone-beam line integrals of an
+  :class:`~repro.core.phantom.EllipsoidPhantom`.  Because the integrals are
+  closed-form, this is the gold standard for validating both the geometry
+  and the FDK reconstruction quality.
+* :func:`forward_project_volume` — a ray-marching projector through an
+  arbitrary rasterized volume with trilinear sampling.  This is the matched
+  forward operator ``A`` used by the iterative reconstruction methods.
+
+Both projectors derive the source position and per-pixel ray directions
+directly from the 3x4 projection matrices (the camera model), so they are
+consistent with the back-projection stage by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .geometry import CBCTGeometry, ProjectionMatrix
+from .interpolation import trilinear_interpolate
+from .phantom import EllipsoidPhantom
+from .types import DEFAULT_DTYPE, ProjectionStack, Volume
+
+__all__ = [
+    "forward_project_analytic",
+    "forward_project_volume",
+    "detector_pixel_grid",
+]
+
+
+def detector_pixel_grid(geometry: CBCTGeometry):
+    """Meshgrid of detector pixel coordinates ``(u, v)``, each ``(Nv, Nu)``."""
+    u = np.arange(geometry.nu, dtype=np.float64)
+    v = np.arange(geometry.nv, dtype=np.float64)
+    uu, vv = np.meshgrid(u, v)
+    return uu, vv
+
+
+def _physical_direction_norm(
+    geometry: CBCTGeometry, directions_index: np.ndarray
+) -> np.ndarray:
+    """Norm (mm) of index-space direction vectors.
+
+    A step of one unit in index space along axis i/j/k corresponds to a
+    physical step of ``dx``/``dy``/``dz`` millimetres (the sign flips of M0
+    do not change lengths).
+    """
+    scale = np.array([geometry.dx, geometry.dy, geometry.dz])
+    return np.sqrt(np.einsum("...d,...d->...", directions_index * scale, directions_index * scale))
+
+
+def _index_to_normalized(geometry: CBCTGeometry, points_index: np.ndarray) -> np.ndarray:
+    """Map voxel-index coordinates to the phantom's normalized ``[-1, 1]^3`` frame."""
+    centers = np.array(
+        [
+            (geometry.nx - 1) / 2.0,
+            (geometry.ny - 1) / 2.0,
+            (geometry.nz - 1) / 2.0,
+        ]
+    )
+    half = np.array([geometry.nx / 2.0, geometry.ny / 2.0, geometry.nz / 2.0])
+    return (points_index - centers) / half
+
+
+def forward_project_analytic(
+    phantom: EllipsoidPhantom,
+    geometry: CBCTGeometry,
+    angles: Optional[Sequence[float]] = None,
+) -> ProjectionStack:
+    """Exact cone-beam projections of an ellipsoid phantom.
+
+    The phantom is assumed to fill the volume's normalized cube, i.e. its
+    normalized coordinates map onto voxel indices exactly as
+    :meth:`EllipsoidPhantom.rasterize` does.  The returned projection values
+    are line integrals in millimetres of path length times phantom density.
+    """
+    if angles is None:
+        angles = geometry.angles
+    matrices = geometry.projection_matrices(angles)
+    uu, vv = detector_pixel_grid(geometry)
+    data = np.empty((len(matrices), geometry.nv, geometry.nu), dtype=DEFAULT_DTYPE)
+
+    half = np.array([geometry.nx / 2.0, geometry.ny / 2.0, geometry.nz / 2.0])
+    for idx, pm in enumerate(matrices):
+        source_index = pm.camera_center
+        directions_index = pm.ray_direction(uu, vv).reshape(-1, 3)
+        origin_norm = _index_to_normalized(geometry, source_index)
+        directions_norm = directions_index / half
+        integrals_norm = phantom.line_integrals(
+            np.broadcast_to(origin_norm, directions_norm.shape), directions_norm
+        )
+        # Convert chord length from the normalized frame to millimetres:
+        # along a fixed ray the two frames are related by a constant ratio.
+        norm_normalized = np.sqrt(
+            np.einsum("...d,...d->...", directions_norm, directions_norm)
+        )
+        norm_physical = _physical_direction_norm(geometry, directions_index)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(norm_normalized > 0, norm_physical / norm_normalized, 0.0)
+        data[idx] = (integrals_norm * scale).reshape(geometry.nv, geometry.nu)
+
+    return ProjectionStack(data=data, angles=np.asarray(list(angles), dtype=np.float64))
+
+
+def _ray_box_intersection(
+    origins: np.ndarray,
+    directions: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+):
+    """Slab-method intersection of rays with an axis-aligned box.
+
+    Returns ``(t_near, t_far)`` clipped so that ``t_near <= t_far`` means the
+    ray crosses the box.  ``origins`` broadcasts against ``directions``
+    (shape ``(..., 3)``).
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(directions != 0.0, 1.0 / directions, np.inf)
+    t0 = (lo - origins) * inv
+    t1 = (hi - origins) * inv
+    t_near = np.maximum.reduce(np.minimum(t0, t1), axis=-1)
+    t_far = np.minimum.reduce(np.maximum(t0, t1), axis=-1)
+    return t_near, t_far
+
+
+def forward_project_volume(
+    volume: Volume,
+    geometry: CBCTGeometry,
+    angles: Optional[Sequence[float]] = None,
+    *,
+    step_mm: Optional[float] = None,
+) -> ProjectionStack:
+    """Ray-marching cone-beam projection of a rasterized volume.
+
+    Parameters
+    ----------
+    volume:
+        The ``(Nz, Ny, Nx)`` volume to project.  Its extents must match the
+        geometry's ``nx/ny/nz``.
+    geometry:
+        Acquisition geometry.
+    angles:
+        Gantry angles to project at (defaults to the geometry's full sweep).
+    step_mm:
+        Sampling step along each ray in millimetres.  Defaults to half the
+        smallest voxel pitch (a common choice that keeps the discretization
+        error well below the interpolation error).
+    """
+    if volume.shape != geometry.volume_shape:
+        raise ValueError(
+            f"volume shape {volume.shape} does not match geometry "
+            f"{geometry.volume_shape}"
+        )
+    if angles is None:
+        angles = geometry.angles
+    if step_mm is None:
+        step_mm = 0.5 * min(geometry.dx, geometry.dy, geometry.dz)
+    if step_mm <= 0:
+        raise ValueError("step_mm must be positive")
+
+    matrices = geometry.projection_matrices(angles)
+    uu, vv = detector_pixel_grid(geometry)
+    data = np.zeros((len(matrices), geometry.nv, geometry.nu), dtype=DEFAULT_DTYPE)
+
+    lo = np.array([-0.5, -0.5, -0.5])
+    hi = np.array(
+        [geometry.nx - 0.5, geometry.ny - 0.5, geometry.nz - 0.5]
+    )
+
+    vol_data = volume.data
+    for idx, pm in enumerate(matrices):
+        source_index = pm.camera_center
+        directions_index = pm.ray_direction(uu, vv).reshape(-1, 3)
+        norm_physical = _physical_direction_norm(geometry, directions_index)
+        t_near, t_far = _ray_box_intersection(
+            source_index[None, :], directions_index, lo, hi
+        )
+        t_near = np.maximum(t_near, 0.0)
+        span = np.maximum(t_far - t_near, 0.0)
+        # Parameter-space step that corresponds to `step_mm` physically.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dt = np.where(norm_physical > 0, step_mm / norm_physical, 0.0)
+        n_steps = int(np.ceil(np.max(np.where(dt > 0, span / np.maximum(dt, 1e-30), 0.0)))) if span.size else 0
+        if n_steps == 0:
+            continue
+        accum = np.zeros(directions_index.shape[0], dtype=np.float64)
+        # Midpoint rule along each ray; rays shorter than the longest simply
+        # stop contributing once their parameter leaves [t_near, t_far].
+        for step in range(n_steps):
+            t = t_near + (step + 0.5) * dt
+            active = t < t_far
+            if not np.any(active):
+                break
+            pts = source_index[None, :] + t[:, None] * directions_index
+            samples = trilinear_interpolate(
+                vol_data, pts[:, 0], pts[:, 1], pts[:, 2]
+            )
+            accum += np.where(active, samples, 0.0)
+        data[idx] = (accum * step_mm).reshape(geometry.nv, geometry.nu)
+
+    return ProjectionStack(data=data, angles=np.asarray(list(angles), dtype=np.float64))

@@ -1,0 +1,66 @@
+"""Simulated GPU substrate for the iFDK reproduction.
+
+The paper runs its back-projection kernels on Tesla V100 GPUs; this package
+replaces the physical device with (a) an explicit architectural model
+(:mod:`~repro.gpusim.device`), (b) numerically exact NumPy executions of the
+five kernel variants of Table 3 (:mod:`~repro.gpusim.kernels`) and (c) a
+roofline-style throughput model that regenerates Table 4
+(:mod:`~repro.gpusim.costmodel`).  Device-memory capacity constraints and
+PCIe transfer costs — both of which shape the distributed design — are
+modelled in :mod:`~repro.gpusim.memory` and :mod:`~repro.gpusim.transfer`.
+"""
+
+from .costmodel import (
+    BackprojectionCostModel,
+    KernelTiming,
+    predict_gups,
+    predict_table4,
+)
+from .device import A100_40GB, TESLA_P100, TESLA_V100, DeviceSpec
+from .kernels import (
+    BP_L1,
+    BP_TEX,
+    DEFAULT_PROJECTION_BATCH,
+    KERNEL_VARIANTS,
+    L1_TRAN,
+    RTK_32,
+    TEX_TRAN,
+    KernelVariant,
+    get_kernel,
+    shfl_bp_reference,
+)
+from .memory import DeviceAllocation, DeviceMemoryPool, DeviceOutOfMemoryError
+from .texture import GlobalReadPath, L1ReadPath, ReadPathModel, TextureReadPath
+from .transfer import PCIeModel
+from .warp import FULL_MASK, Warp
+
+__all__ = [
+    "A100_40GB",
+    "BP_L1",
+    "BP_TEX",
+    "BackprojectionCostModel",
+    "DEFAULT_PROJECTION_BATCH",
+    "DeviceAllocation",
+    "DeviceMemoryPool",
+    "DeviceOutOfMemoryError",
+    "DeviceSpec",
+    "FULL_MASK",
+    "GlobalReadPath",
+    "KERNEL_VARIANTS",
+    "KernelTiming",
+    "KernelVariant",
+    "L1ReadPath",
+    "L1_TRAN",
+    "PCIeModel",
+    "RTK_32",
+    "ReadPathModel",
+    "TESLA_P100",
+    "TESLA_V100",
+    "TEX_TRAN",
+    "TextureReadPath",
+    "Warp",
+    "get_kernel",
+    "predict_gups",
+    "predict_table4",
+    "shfl_bp_reference",
+]

@@ -1,0 +1,82 @@
+"""Host <-> device transfer model (PCIe), Equations 11 and 14.
+
+Each ABCI node connects four V100s to the host through two PCIe gen3 x16
+switches (two GPUs share one switch).  The paper measures a sustained
+bandwidth of 11.9 GB/s per link with Nvidia's ``bandwidthTest`` and uses
+
+* ``T_H2D = sizeof(float)·N_gpu_per_node·Nu·Nv·Np / (C · BW_PCIe · N_PCIe)``
+* ``T_D2H = sizeof(float)·N_gpu_per_node·Nx·Ny·Nz / (R · BW_PCIe · N_PCIe)``
+
+in its performance model.  This module provides those terms plus a small
+per-transfer latency so that the functional pipeline simulation can also
+charge realistic costs for the 32-projection staging batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, TESLA_V100
+
+__all__ = ["PCIeModel"]
+
+
+@dataclass(frozen=True)
+class PCIeModel:
+    """PCIe transfer-time model for one compute node.
+
+    Parameters
+    ----------
+    device:
+        GPU whose link bandwidth is used (``device.pcie_bandwidth``).
+    links_per_node:
+        ``N_PCIe``: independent PCIe connectors per node (ABCI has 2).
+    gpus_per_node:
+        GPUs sharing those links (ABCI has 4, i.e. 2 GPUs per switch).
+    latency:
+        Fixed per-transfer latency (driver + DMA setup), seconds.
+    """
+
+    device: DeviceSpec = TESLA_V100
+    links_per_node: int = 2
+    gpus_per_node: int = 4
+    latency: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.links_per_node <= 0 or self.gpus_per_node <= 0:
+            raise ValueError("links_per_node and gpus_per_node must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def per_gpu_bandwidth(self) -> float:
+        """Effective bandwidth available to one GPU when all GPUs transfer.
+
+        With ``gpus_per_node`` GPUs sharing ``links_per_node`` links, each
+        concurrent transfer sees the link bandwidth divided by the number of
+        GPUs per link (the PCIe-switch contention noted in Section 5.3.3).
+        """
+        gpus_per_link = self.gpus_per_node / self.links_per_node
+        return self.device.pcie_bandwidth / gpus_per_link
+
+    def transfer_seconds(self, nbytes: int, *, contended: bool = True) -> float:
+        """Time to move ``nbytes`` across PCIe for one GPU."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        bandwidth = self.per_gpu_bandwidth if contended else self.device.pcie_bandwidth
+        return self.latency + nbytes / bandwidth
+
+    # ------------------------------------------------------------------ #
+    # The aggregate node-level terms of the performance model
+    # ------------------------------------------------------------------ #
+    def node_h2d_seconds(self, total_bytes_per_node: int) -> float:
+        """Time for one node to push ``total_bytes_per_node`` host->device."""
+        if total_bytes_per_node < 0:
+            raise ValueError("total_bytes_per_node must be non-negative")
+        aggregate = self.device.pcie_bandwidth * self.links_per_node
+        return self.latency + total_bytes_per_node / aggregate
+
+    def node_d2h_seconds(self, total_bytes_per_node: int) -> float:
+        """Time for one node to pull ``total_bytes_per_node`` device->host."""
+        return self.node_h2d_seconds(total_bytes_per_node)

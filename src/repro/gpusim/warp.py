@@ -1,0 +1,87 @@
+"""Warp-level semantics of the ``shflBP`` CUDA kernel (Listing 1).
+
+The paper's kernel stores the per-projection values ``Z = 1/z`` and
+``U = u`` in the registers of the first ``Nbatch`` lanes of each warp and
+broadcasts them to all lanes with ``__shfl_sync`` when the loop over the
+projection batch runs.  This module models a warp precisely enough to
+execute a faithful transcription of Listing 1 (see
+:func:`repro.gpusim.kernels.shfl_bp_reference`):
+
+* :class:`Warp` holds one register file per lane;
+* :meth:`Warp.shfl_sync` implements the broadcast-from-lane semantics of
+  ``__shfl_sync(0xffffffff, var, srcLane)``.
+
+It exists for fidelity and testing (the vectorized kernels in
+:mod:`repro.core.backprojection` are the production path), so clarity is
+favoured over speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["Warp", "FULL_MASK"]
+
+#: The full-warp participation mask used by ``__shfl_sync`` in Listing 1.
+FULL_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class Warp:
+    """A single warp: ``width`` lanes, each with a named register file."""
+
+    width: int = 32
+    registers: List[Dict[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.width > 32:
+            raise ValueError("warp width must be in [1, 32]")
+        if not self.registers:
+            self.registers = [dict() for _ in range(self.width)]
+        elif len(self.registers) != self.width:
+            raise ValueError("one register file per lane is required")
+
+    # ------------------------------------------------------------------ #
+    def write(self, lane: int, name: str, value: float) -> None:
+        """Write a register on one lane."""
+        self._check_lane(lane)
+        self.registers[lane][name] = float(value)
+
+    def read(self, lane: int, name: str) -> float:
+        """Read a register from one lane (0.0 if never written)."""
+        self._check_lane(lane)
+        return self.registers[lane].get(name, 0.0)
+
+    def broadcast_write(self, name: str, values) -> None:
+        """Write one register on every lane from a sequence of values."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.width,):
+            raise ValueError(f"expected {self.width} values, got shape {values.shape}")
+        for lane, value in enumerate(values):
+            self.registers[lane][name] = float(value)
+
+    def shfl_sync(self, mask: int, name: str, src_lane: int) -> np.ndarray:
+        """``__shfl_sync``: every active lane receives ``name`` from ``src_lane``.
+
+        Returns an array of length ``width`` with the value each lane
+        receives; lanes excluded from ``mask`` receive their own value
+        (undefined in CUDA — keeping their own value is the conservative
+        simulation and is asserted against in tests only under full mask).
+        """
+        self._check_lane(src_lane)
+        source_value = self.read(src_lane, name)
+        out = np.empty(self.width, dtype=np.float64)
+        for lane in range(self.width):
+            if (mask >> lane) & 1:
+                out[lane] = source_value
+            else:
+                out[lane] = self.read(lane, name)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.width:
+            raise IndexError(f"lane {lane} outside warp of width {self.width}")

@@ -1,0 +1,98 @@
+"""Latency/bandwidth cost model for the MPI collectives.
+
+The paper measures ``TH_AllGather`` and ``TH_Reduce`` with the Intel MPI
+benchmarks on ABCI's dual InfiniBand EDR fabric and feeds the measured
+throughputs into the performance model (Section 4.2.1).  Those measurements
+cannot be repeated here, so this module provides an alpha–beta (Hockney)
+style model of the two collectives iFDK uses:
+
+* **AllGather** — ring algorithm: each of the ``p`` ranks forwards
+  ``p - 1`` messages, so the time is ``(p-1)·(α + m/β_ag)`` for a
+  per-rank contribution of ``m`` bytes.
+* **Reduce** — pipelined reduction of one large buffer: a tree of
+  ``⌈log2 p⌉`` rounds whose latency terms add up, while the payload streams
+  at an effective end-to-end bandwidth ``β_red`` that already folds in the
+  on-CPU summation.
+
+``ABCI_COLLECTIVES`` is calibrated against the numbers the paper itself
+publishes: an AllGather of one 16 MB filtered projection across a 32-rank
+column takes ≈0.25 s (implied by the ``T_AllGather`` column of Table 5) and
+reducing an 8 GB sub-volume takes ≈2.7 s (Section 5.3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CollectiveCostModel", "ABCI_COLLECTIVES"]
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Cost model for AllGather and Reduce on a fat-tree fabric.
+
+    Parameters
+    ----------
+    allgather_bandwidth:
+        Effective per-hop bandwidth of the ring AllGather, bytes/s.
+    reduce_bandwidth:
+        Effective end-to-end bandwidth of a pipelined large-message Reduce
+        (network + on-CPU summation), bytes/s.
+    latency:
+        Per-message software + network latency, seconds.
+    """
+
+    allgather_bandwidth: float = 2.2e9
+    reduce_bandwidth: float = 3.0e9
+    latency: float = 30e-6
+
+    def __post_init__(self) -> None:
+        if self.allgather_bandwidth <= 0 or self.reduce_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def allgather_seconds(self, message_bytes: int, group_size: int) -> float:
+        """Ring AllGather: per-rank contribution ``message_bytes``, ``p`` ranks."""
+        self._check(message_bytes, group_size)
+        if group_size == 1:
+            return 0.0
+        p = group_size
+        return (p - 1) * (self.latency + message_bytes / self.allgather_bandwidth)
+
+    def reduce_seconds(self, message_bytes: int, group_size: int) -> float:
+        """Pipelined Reduce of one ``message_bytes`` buffer across ``p`` ranks."""
+        self._check(message_bytes, group_size)
+        if group_size == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(group_size))
+        return rounds * self.latency + message_bytes / self.reduce_bandwidth
+
+    def allgather_throughput(self, message_bytes: int, group_size: int) -> float:
+        """Effective AllGather operations/second (the paper's ``TH_AllGather``)."""
+        seconds = self.allgather_seconds(message_bytes, group_size)
+        return float("inf") if seconds == 0 else 1.0 / seconds
+
+    def reduce_throughput_bytes(self, message_bytes: int, group_size: int) -> float:
+        """Effective Reduce bandwidth in bytes/second (``TH_Reduce``)."""
+        seconds = self.reduce_seconds(message_bytes, group_size)
+        return float("inf") if seconds == 0 else message_bytes / seconds
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check(message_bytes: int, group_size: int) -> None:
+        if message_bytes < 0:
+            raise ValueError("message_bytes must be non-negative")
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+
+
+#: Calibrated against the ABCI figures published in the paper (see module
+#: docstring for the two anchor points).
+ABCI_COLLECTIVES = CollectiveCostModel(
+    allgather_bandwidth=2.2e9,
+    reduce_bandwidth=3.0e9,
+    latency=30e-6,
+)

@@ -1,0 +1,123 @@
+"""SPMD execution engine: run an MPI-style program with N in-process ranks.
+
+``run_spmd`` plays the role of ``mpiexec -n N python program.py`` for the
+simulated communicator: it creates the world context, spawns one thread per
+rank, runs the rank function everywhere and collects either the per-rank
+return values or the first exception (all ranks are joined before the error
+is re-raised, so a failing test cannot leak threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from .communicator import SimCommunicator, _Context
+
+__all__ = ["RankFailure", "SpmdError", "run_spmd"]
+
+
+@dataclass
+class RankFailure:
+    """Captured exception from one rank."""
+
+    rank: int
+    exception: BaseException
+    traceback_text: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"rank {self.rank}: {self.exception!r}\n{self.traceback_text}"
+
+
+class SpmdError(RuntimeError):
+    """Raised when one or more ranks of an SPMD run fail."""
+
+    def __init__(self, failures: Sequence[RankFailure]):
+        self.failures = list(failures)
+        summary = "; ".join(f"rank {f.rank}: {f.exception!r}" for f in self.failures)
+        super().__init__(f"{len(self.failures)} rank(s) failed: {summary}")
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    name: str = "world",
+    timeout: Optional[float] = 600.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` simulated MPI ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (threads) to launch.
+    fn:
+        The rank program.  Its first argument is the rank's
+        :class:`~repro.mpi.communicator.SimCommunicator`.
+    timeout:
+        Per-thread join timeout in seconds; ``None`` waits forever.  A rank
+        still alive after the timeout indicates a deadlock (e.g. mismatched
+        collectives) and raises :class:`SpmdError`.
+
+    Returns
+    -------
+    list
+        The return value of every rank, indexed by rank.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+
+    context = _Context(size=n_ranks, name=name)
+    results: List[Any] = [None] * n_ranks
+    failures: List[RankFailure] = []
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = SimCommunicator(rank=rank, size=n_ranks, _context=context)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - report every rank failure
+            with failures_lock:
+                failures.append(
+                    RankFailure(
+                        rank=rank,
+                        exception=exc,
+                        traceback_text=traceback.format_exc(),
+                    )
+                )
+            # Abort the barrier so sibling ranks blocked in a collective see
+            # a BrokenBarrierError instead of deadlocking.
+            context.barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"{name}-rank{rank}")
+        for rank in range(n_ranks)
+    ]
+    for thread in threads:
+        thread.start()
+    hung = []
+    for rank, thread in enumerate(threads):
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            hung.append(rank)
+    if hung:
+        context.barrier.abort()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        raise SpmdError(
+            [
+                RankFailure(
+                    rank=rank,
+                    exception=TimeoutError(f"rank {rank} did not finish"),
+                    traceback_text="",
+                )
+                for rank in hung
+            ]
+        )
+    if failures:
+        primary = sorted(failures, key=lambda f: f.rank)
+        raise SpmdError(primary)
+    return results

@@ -1,0 +1,101 @@
+"""The 2-D grid of MPI ranks (Section 4.1.1, Figure 3).
+
+iFDK arranges its ``N_ranks = R × C`` ranks in a 2-D grid:
+
+* the ``C`` *columns* partition the input projections — every column loads
+  and filters ``Np / C`` projections, and the ranks of a column share their
+  filtered projections with an ``MPI_Allgather``;
+* the ``R`` *rows* partition the output volume — every rank in row ``r``
+  back-projects into the same Z-slab, and the slab's final value is the
+  ``MPI_Reduce`` of the partial slabs across the row.
+
+Rank ``g`` (global, column-major as in Figure 3a: ranks 0..R-1 form column
+0) sits at row ``g mod R`` and column ``g div R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .communicator import SimCommunicator
+
+__all__ = ["GridPosition", "RankGrid2D"]
+
+
+@dataclass(frozen=True)
+class GridPosition:
+    """Position of one rank in the R×C grid."""
+
+    global_rank: int
+    row: int
+    column: int
+
+
+class RankGrid2D:
+    """Mapping between global ranks and the R×C grid, plus sub-communicators.
+
+    Parameters
+    ----------
+    rows, columns:
+        ``R`` and ``C`` of Table 2.  ``R·C`` must equal the size of the
+        communicator this grid is used with.
+    """
+
+    def __init__(self, rows: int, columns: int):
+        if rows <= 0 or columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        self.rows = int(rows)
+        self.columns = int(columns)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self.rows * self.columns
+
+    def position(self, global_rank: int) -> GridPosition:
+        """Grid coordinates of a global rank (column-major, Figure 3a)."""
+        if not 0 <= global_rank < self.size:
+            raise ValueError(f"rank {global_rank} outside grid of size {self.size}")
+        return GridPosition(
+            global_rank=global_rank,
+            row=global_rank % self.rows,
+            column=global_rank // self.rows,
+        )
+
+    def global_rank(self, row: int, column: int) -> int:
+        """Global rank at grid coordinates ``(row, column)``."""
+        if not 0 <= row < self.rows or not 0 <= column < self.columns:
+            raise ValueError(
+                f"position ({row}, {column}) outside a {self.rows}x{self.columns} grid"
+            )
+        return column * self.rows + row
+
+    def column_members(self, column: int) -> List[int]:
+        """Global ranks forming one column (they share input projections)."""
+        return [self.global_rank(row, column) for row in range(self.rows)]
+
+    def row_members(self, row: int) -> List[int]:
+        """Global ranks forming one row (they reduce one sub-volume)."""
+        return [self.global_rank(row, column) for column in range(self.columns)]
+
+    # ------------------------------------------------------------------ #
+    def split(
+        self, comm: SimCommunicator
+    ) -> Tuple[GridPosition, SimCommunicator, SimCommunicator]:
+        """Create the column and row communicators for ``comm``'s rank.
+
+        Returns ``(position, column_comm, row_comm)`` where ``column_comm``
+        groups the ranks of this rank's column (used for the projection
+        AllGather) and ``row_comm`` groups the ranks of its row (used for
+        the sub-volume Reduce).
+        """
+        if comm.size != self.size:
+            raise ValueError(
+                f"communicator size {comm.size} does not match grid "
+                f"{self.rows}x{self.columns} = {self.size}"
+            )
+        position = self.position(comm.rank)
+        column_comm = comm.Split(color=position.column, key=position.row)
+        row_comm = comm.Split(color=position.row, key=position.column)
+        return position, column_comm, row_comm

@@ -1,0 +1,199 @@
+"""Simulated parallel file system (PFS).
+
+ABCI mounts a 6.6 PB GPFS file system; the paper measures its aggregate
+bandwidth with LLNL's IOR (``BW_load``/``BW_store`` in Section 4.2.1) and a
+peak sequential write bandwidth of 28.5 GB/s (Section 5.3.3).  This module
+replaces GPFS with :class:`SimulatedPFS`:
+
+* data can be held **in memory** (default — fast, used by tests and by the
+  functional distributed runs) or **on local disk** under a directory
+  (used by the examples so the output volume really lands in files);
+* every read and write is charged against a bandwidth/striping model so the
+  framework can report modelled ``T_load``/``T_store`` values alongside the
+  wall-clock ones;
+* files are striped across ``stripe_count`` object-storage targets with a
+  configurable ``stripe_size`` — mirroring the paper's note that the output
+  slices "written to PFS [are] not tuned to the ideal stripe size".
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["PFSConfig", "PFSStatistics", "SimulatedPFS"]
+
+
+@dataclass(frozen=True)
+class PFSConfig:
+    """Bandwidth and striping parameters of the simulated file system.
+
+    The defaults model ABCI's GPFS as characterized in the paper:
+    28.5 GB/s aggregate sequential write, a comparable aggregate read rate,
+    and 1 MiB stripes across 16 targets.
+    """
+
+    read_bandwidth: float = 40.0e9
+    write_bandwidth: float = 28.5e9
+    stripe_size: int = 1 << 20
+    stripe_count: int = 16
+    per_file_latency: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.stripe_size <= 0 or self.stripe_count <= 0:
+            raise ValueError("stripe_size and stripe_count must be positive")
+        if self.per_file_latency < 0:
+            raise ValueError("per_file_latency must be non-negative")
+
+    def stripe_efficiency(self, nbytes: int) -> float:
+        """Fraction of peak bandwidth achieved for a file of ``nbytes``.
+
+        A file that spans at least one full stripe per target streams at
+        peak; smaller files only engage a subset of the targets.
+        """
+        if nbytes <= 0:
+            return 1.0
+        stripes = max(1, -(-nbytes // self.stripe_size))  # ceil division
+        engaged = min(stripes, self.stripe_count)
+        return engaged / self.stripe_count
+
+    def write_seconds(self, nbytes: int) -> float:
+        """Modelled time to write ``nbytes`` as a single file."""
+        eff = self.stripe_efficiency(nbytes)
+        return self.per_file_latency + nbytes / (self.write_bandwidth * eff)
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Modelled time to read ``nbytes`` as a single file."""
+        eff = self.stripe_efficiency(nbytes)
+        return self.per_file_latency + nbytes / (self.read_bandwidth * eff)
+
+
+@dataclass
+class PFSStatistics:
+    """Aggregate I/O accounting of one simulated file system."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    files_read: int = 0
+    files_written: int = 0
+    modelled_read_seconds: float = 0.0
+    modelled_write_seconds: float = 0.0
+
+
+class SimulatedPFS:
+    """A named, flat namespace of binary files with modelled timings."""
+
+    def __init__(
+        self,
+        config: Optional[PFSConfig] = None,
+        *,
+        root_dir: Optional[os.PathLike] = None,
+    ):
+        self.config = config or PFSConfig()
+        self.root_dir = Path(root_dir) if root_dir is not None else None
+        if self.root_dir is not None:
+            self.root_dir.mkdir(parents=True, exist_ok=True)
+        self._objects: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.stats = PFSStatistics()
+
+    # ------------------------------------------------------------------ #
+    def _path_for(self, name: str) -> Path:
+        assert self.root_dir is not None
+        safe = name.replace("/", "__")
+        return self.root_dir / safe
+
+    def write_array(self, name: str, array: np.ndarray) -> float:
+        """Store an array under ``name``; returns the modelled write time."""
+        array = np.ascontiguousarray(array)
+        payload = array.tobytes()
+        header = _encode_header(array)
+        blob = header + payload
+        with self._lock:
+            if self.root_dir is not None:
+                self._path_for(name).write_bytes(blob)
+            else:
+                self._objects[name] = blob
+            seconds = self.config.write_seconds(len(blob))
+            self.stats.bytes_written += len(blob)
+            self.stats.files_written += 1
+            self.stats.modelled_write_seconds += seconds
+        return seconds
+
+    def read_array(self, name: str) -> np.ndarray:
+        """Load the array stored under ``name`` (raises ``KeyError`` if absent)."""
+        with self._lock:
+            if self.root_dir is not None:
+                path = self._path_for(name)
+                if not path.exists():
+                    raise KeyError(f"no PFS object named {name!r}")
+                blob = path.read_bytes()
+            else:
+                if name not in self._objects:
+                    raise KeyError(f"no PFS object named {name!r}")
+                blob = self._objects[name]
+            seconds = self.config.read_seconds(len(blob))
+            self.stats.bytes_read += len(blob)
+            self.stats.files_read += 1
+            self.stats.modelled_read_seconds += seconds
+        return _decode_blob(blob)
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            if self.root_dir is not None:
+                return self._path_for(name).exists()
+            return name in self._objects
+
+    def list_objects(self) -> List[str]:
+        with self._lock:
+            if self.root_dir is not None:
+                return sorted(p.name for p in self.root_dir.iterdir() if p.is_file())
+            return sorted(self._objects)
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if self.root_dir is not None:
+                path = self._path_for(name)
+                if path.exists():
+                    path.unlink()
+            else:
+                self._objects.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    def modelled_aggregate_write_seconds(self, total_bytes: int) -> float:
+        """Time to write ``total_bytes`` at the aggregate bandwidth (Eq. 16)."""
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        return total_bytes / self.config.write_bandwidth
+
+    def modelled_aggregate_read_seconds(self, total_bytes: int) -> float:
+        """Time to read ``total_bytes`` at the aggregate bandwidth (Eq. 8)."""
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        return total_bytes / self.config.read_bandwidth
+
+
+# --------------------------------------------------------------------------- #
+# Tiny self-describing serialization (dtype + shape header, raw bytes payload)
+# --------------------------------------------------------------------------- #
+def _encode_header(array: np.ndarray) -> bytes:
+    descr = np.lib.format.dtype_to_descr(array.dtype)
+    header = repr({"descr": descr, "shape": array.shape}).encode("ascii")
+    return len(header).to_bytes(4, "little") + header
+
+
+def _decode_blob(blob: bytes) -> np.ndarray:
+    header_len = int.from_bytes(blob[:4], "little")
+    header = eval(blob[4 : 4 + header_len].decode("ascii"))  # noqa: S307 - trusted, self-written
+    dtype = np.lib.format.descr_to_dtype(header["descr"])
+    shape = tuple(header["shape"])
+    payload = blob[4 + header_len :]
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()

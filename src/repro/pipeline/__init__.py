@@ -1,0 +1,36 @@
+"""The iFDK distributed framework (Section 4 of the paper)."""
+
+from .circular_buffer import BufferClosed, CircularBuffer
+from .config import IFDKConfig, choose_grid, subvolume_bytes
+from .decomposition import Decomposition, RankAssignment
+from .ifdk import IFDKFramework, IFDKRunResult
+from .perfmodel import (
+    ABCI_MICROBENCHMARKS,
+    IFDKPerformanceModel,
+    MicroBenchmarks,
+    PerformanceBreakdown,
+)
+from .rank_runtime import RankResult, run_rank
+from .tracing import PipelineTracer, StageSummary, TraceEvent, summarize_events
+
+__all__ = [
+    "ABCI_MICROBENCHMARKS",
+    "BufferClosed",
+    "CircularBuffer",
+    "Decomposition",
+    "IFDKConfig",
+    "IFDKFramework",
+    "IFDKPerformanceModel",
+    "IFDKRunResult",
+    "MicroBenchmarks",
+    "PerformanceBreakdown",
+    "PipelineTracer",
+    "RankAssignment",
+    "RankResult",
+    "StageSummary",
+    "TraceEvent",
+    "choose_grid",
+    "run_rank",
+    "subvolume_bytes",
+    "summarize_events",
+]

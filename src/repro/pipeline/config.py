@@ -1,0 +1,175 @@
+"""iFDK framework configuration (the parameters of Table 2).
+
+The central configuration object couples the acquisition geometry with the
+2-D rank grid (``R`` rows × ``C`` columns), the per-node GPU count and the
+kernel/filter choices.  :func:`choose_grid` implements the ``R`` selection
+policy of Section 4.1.5: minimize ``R`` (and therefore maximize ``C``)
+subject to the sub-volume fitting into device memory next to a
+32-projection staging batch, with ``R`` kept a power of two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.geometry import CBCTGeometry
+from ..core.types import ReconstructionProblem
+from ..gpusim.device import DeviceSpec, TESLA_V100
+from ..gpusim.kernels import DEFAULT_PROJECTION_BATCH
+
+__all__ = ["IFDKConfig", "choose_grid", "subvolume_bytes"]
+
+
+def subvolume_bytes(problem: ReconstructionProblem, rows: int, itemsize: int = 4) -> int:
+    """Size in bytes of one row's sub-volume (``N_sub_vol`` in Section 4.1.5)."""
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    return problem.output_bytes(itemsize) // rows
+
+
+def choose_grid(
+    problem: ReconstructionProblem,
+    n_gpus: int,
+    *,
+    device: DeviceSpec = TESLA_V100,
+    projection_batch: int = DEFAULT_PROJECTION_BATCH,
+    itemsize: int = 4,
+) -> Tuple[int, int]:
+    """Select ``(R, C)`` for ``n_gpus`` ranks following Section 4.1.5.
+
+    ``R`` is the smallest power of two such that
+
+    ``sizeof(float)·(Nx·Ny·Nz / R + Nu·Nv·N_batch) <= N_gpu_mem_size``
+
+    and ``R`` divides ``n_gpus``; ``C = n_gpus / R``.  Raises when even
+    ``R = n_gpus`` cannot satisfy the memory constraint.
+    """
+    if n_gpus <= 0:
+        raise ValueError("n_gpus must be positive")
+    batch_bytes = problem.nu * problem.nv * projection_batch * itemsize
+    if batch_bytes >= device.global_memory_bytes:
+        raise ValueError(
+            "the projection staging batch alone exceeds device memory; "
+            "reduce the batch size or use a larger device"
+        )
+    r = 1
+    while r <= n_gpus:
+        if n_gpus % r == 0:
+            required = problem.output_bytes(itemsize) // r + batch_bytes
+            if required <= device.global_memory_bytes:
+                return r, n_gpus // r
+        r *= 2
+    raise ValueError(
+        f"no feasible R <= {n_gpus}: the output volume "
+        f"({problem.output_bytes(itemsize) / 2**30:.1f} GiB) does not fit even "
+        f"when split across all {n_gpus} GPUs of {device.name}"
+    )
+
+
+@dataclass(frozen=True)
+class IFDKConfig:
+    """Complete configuration of one distributed reconstruction.
+
+    Parameters
+    ----------
+    geometry:
+        Acquisition geometry; also defines the output volume.
+    rows, columns:
+        ``R`` and ``C`` of the 2-D rank grid (Table 2).
+    gpus_per_node:
+        ``N_gpu_per_node`` (ABCI has 4); one MPI rank is launched per GPU.
+    kernel:
+        Name of the back-projection kernel variant (Table 3); ``L1-Tran`` is
+        the paper's proposed kernel and the default.
+    ramp_filter:
+        Ramp-filter window used by the filtering stage.
+    projection_batch:
+        Projections staged per device batch (``N_batch`` = 32 in Listing 1).
+    device:
+        GPU model each rank is assumed to own (memory-capacity checks).
+    """
+
+    geometry: CBCTGeometry
+    rows: int
+    columns: int
+    gpus_per_node: int = 4
+    kernel: str = "L1-Tran"
+    ramp_filter: str = "ram-lak"
+    projection_batch: int = DEFAULT_PROJECTION_BATCH
+    device: DeviceSpec = TESLA_V100
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.projection_batch <= 0:
+            raise ValueError("projection_batch must be positive")
+        geometry = self.geometry
+        if geometry.np_ % (self.rows * self.columns) != 0:
+            raise ValueError(
+                f"Np = {geometry.np_} must be divisible by R*C = "
+                f"{self.rows * self.columns} so every rank loads the same number "
+                "of projections (Equation 5)"
+            )
+        if geometry.nz % self.rows != 0:
+            raise ValueError(
+                f"Nz = {geometry.nz} must be divisible by R = {self.rows} so the "
+                "volume decomposes into equal Z slabs"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ranks(self) -> int:
+        """Total MPI ranks, ``N_ranks = R · C`` (Equation 4)."""
+        return self.rows * self.columns
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs, one per rank (Equation 6)."""
+        return self.n_ranks
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes, ``N_ranks / N_gpu_per_node`` (rounded up)."""
+        return -(-self.n_ranks // self.gpus_per_node)
+
+    @property
+    def projections_per_rank(self) -> int:
+        """``N_proj_per_rank = Np / (C · R)`` (Equation 5)."""
+        return self.geometry.np_ // self.n_ranks
+
+    @property
+    def projections_per_column(self) -> int:
+        """Projections handled by each column group, ``Np / C``."""
+        return self.geometry.np_ // self.columns
+
+    @property
+    def slab_thickness(self) -> int:
+        """Z slices per row's sub-volume."""
+        return self.geometry.nz // self.rows
+
+    @property
+    def problem(self) -> ReconstructionProblem:
+        """The reconstruction problem this configuration solves."""
+        g = self.geometry
+        return ReconstructionProblem(
+            nu=g.nu, nv=g.nv, np_=g.np_, nx=g.nx, ny=g.ny, nz=g.nz
+        )
+
+    def validate_device_memory(self) -> None:
+        """Enforce the Section 4.1.5 per-GPU memory constraint."""
+        g = self.geometry
+        required = 4 * (
+            g.nx * g.ny * self.slab_thickness
+            + g.nu * g.nv * self.projection_batch
+        )
+        if required > self.device.global_memory_bytes:
+            raise ValueError(
+                f"a sub-volume of {self.slab_thickness} slices plus a "
+                f"{self.projection_batch}-projection batch needs "
+                f"{required / 2**30:.2f} GiB, exceeding the "
+                f"{self.device.global_memory_bytes / 2**30:.0f} GiB of {self.device.name}; "
+                "increase R"
+            )

@@ -1,0 +1,128 @@
+"""Pipeline event tracing.
+
+The breakdown figures of the paper (Figure 4c, Table 5) require knowing how
+long each rank spent in each stage and how well the stages overlapped.  A
+:class:`PipelineTracer` is passed to every thread of the rank runtime; each
+stage wraps its work in :meth:`PipelineTracer.span` and the collected
+:class:`TraceEvent` records are aggregated afterwards into per-stage totals
+and an overlap factor δ (Table 5's effectiveness metric).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "PipelineTracer", "StageSummary", "summarize_events"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed span of pipeline work on one rank."""
+
+    rank: int
+    stage: str
+    start: float
+    stop: float
+    payload_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+@dataclass
+class StageSummary:
+    """Aggregate of all events of one stage."""
+
+    stage: str
+    total_seconds: float = 0.0
+    events: int = 0
+    payload_bytes: int = 0
+
+    def add(self, event: TraceEvent) -> None:
+        self.total_seconds += event.duration
+        self.events += 1
+        self.payload_bytes += event.payload_bytes
+
+
+class PipelineTracer:
+    """Thread-safe collector of :class:`TraceEvent` records for one rank."""
+
+    def __init__(self, rank: int, *, clock=time.perf_counter):
+        self.rank = rank
+        self._clock = clock
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self.t0 = clock()
+
+    # ------------------------------------------------------------------ #
+    class _Span:
+        def __init__(self, tracer: "PipelineTracer", stage: str, payload_bytes: int):
+            self.tracer = tracer
+            self.stage = stage
+            self.payload_bytes = payload_bytes
+            self.start = 0.0
+
+        def __enter__(self) -> "PipelineTracer._Span":
+            self.start = self.tracer._clock()
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            stop = self.tracer._clock()
+            self.tracer.record(self.stage, self.start, stop, self.payload_bytes)
+
+    def span(self, stage: str, payload_bytes: int = 0) -> "PipelineTracer._Span":
+        """Context manager timing one unit of work of ``stage``."""
+        return PipelineTracer._Span(self, stage, payload_bytes)
+
+    def record(self, stage: str, start: float, stop: float, payload_bytes: int = 0) -> None:
+        with self._lock:
+            self._events.append(
+                TraceEvent(
+                    rank=self.rank,
+                    stage=stage,
+                    start=start - self.t0,
+                    stop=stop - self.t0,
+                    payload_bytes=payload_bytes,
+                )
+            )
+
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    # ------------------------------------------------------------------ #
+    def stage_seconds(self, stage: str) -> float:
+        return sum(e.duration for e in self.events() if e.stage == stage)
+
+    def wall_seconds(self) -> float:
+        events = self.events()
+        if not events:
+            return 0.0
+        return max(e.stop for e in events) - min(e.start for e in events)
+
+    def overlap_delta(self, stages: Optional[List[str]] = None) -> float:
+        """The paper's δ: summed stage time divided by elapsed wall time.
+
+        δ > 1 means the stages genuinely overlapped (Table 5's criterion for
+        the pipelining being effective).
+        """
+        events = self.events()
+        if stages is not None:
+            events = [e for e in events if e.stage in stages]
+        if not events:
+            return 0.0
+        total = sum(e.duration for e in events)
+        wall = max(e.stop for e in events) - min(e.start for e in events)
+        return total / wall if wall > 0 else float("inf")
+
+
+def summarize_events(events: List[TraceEvent]) -> Dict[str, StageSummary]:
+    """Aggregate a list of events into per-stage summaries."""
+    summaries: Dict[str, StageSummary] = {}
+    for event in events:
+        summaries.setdefault(event.stage, StageSummary(stage=event.stage)).add(event)
+    return summaries

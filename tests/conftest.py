@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Reconstruction is expensive, so the projection stacks and reference volumes
+used by many tests are built once per session at a deliberately small scale
+(32-48 voxels per side).  Anything that needs a bigger problem builds it
+locally and is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CBCTGeometry,
+    EllipsoidPhantom,
+    ProjectionStack,
+    default_geometry_for_problem,
+    fdk_weight_and_filter,
+    forward_project_analytic,
+    shepp_logan_3d,
+    shepp_logan_ellipsoids,
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: slower end-to-end tests")
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> CBCTGeometry:
+    """A 32³ volume / 48² detector / 24 projection geometry."""
+    return default_geometry_for_problem(nu=48, nv=48, np_=24, nx=32, ny=32, nz=32)
+
+
+@pytest.fixture(scope="session")
+def medium_geometry() -> CBCTGeometry:
+    """A 48³ volume / 64² detector / 48 projection geometry."""
+    return default_geometry_for_problem(nu=64, nv=64, np_=48, nx=48, ny=48, nz=48)
+
+
+@pytest.fixture(scope="session")
+def shepp_logan_phantom() -> EllipsoidPhantom:
+    return EllipsoidPhantom(shepp_logan_ellipsoids())
+
+
+@pytest.fixture(scope="session")
+def small_projections(small_geometry, shepp_logan_phantom) -> ProjectionStack:
+    """Analytic Shepp-Logan projections for the small geometry."""
+    return forward_project_analytic(shepp_logan_phantom, small_geometry)
+
+
+@pytest.fixture(scope="session")
+def small_filtered(small_geometry, small_projections) -> ProjectionStack:
+    """Filtered (FDK-normalized) projections for the small geometry."""
+    return fdk_weight_and_filter(small_projections, small_geometry)
+
+
+@pytest.fixture(scope="session")
+def medium_projections(medium_geometry, shepp_logan_phantom) -> ProjectionStack:
+    return forward_project_analytic(shepp_logan_phantom, medium_geometry)
+
+
+@pytest.fixture(scope="session")
+def small_reference_volume(small_geometry):
+    """Rasterized Shepp-Logan phantom matching the small geometry."""
+    return shepp_logan_3d(small_geometry.nx, small_geometry.ny, small_geometry.nz)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,154 @@
+"""Unit tests for the standard and proposed back-projection algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backprojection import (
+    BackProjector,
+    backproject_proposed,
+    backproject_standard,
+    operation_counts,
+    projection_compute_reduction,
+)
+from repro.core.types import ReconstructionProblem
+
+
+class TestAlgorithmEquivalence:
+    def test_proposed_equals_standard(self, small_geometry, small_filtered):
+        std = backproject_standard(small_filtered, small_geometry)
+        new = backproject_proposed(small_filtered, small_geometry)
+        np.testing.assert_allclose(std.data, new.data, atol=2e-4 * np.abs(std.data).max() + 1e-6)
+
+    def test_symmetry_off_equals_symmetry_on(self, small_geometry, small_filtered):
+        on = backproject_proposed(small_filtered, small_geometry, use_symmetry=True)
+        off = backproject_proposed(small_filtered, small_geometry, use_symmetry=False)
+        np.testing.assert_allclose(on.data, off.data, atol=1e-5)
+
+    def test_slab_union_equals_full_volume(self, small_geometry, small_filtered):
+        full = backproject_proposed(small_filtered, small_geometry)
+        nz = small_geometry.nz
+        parts = [
+            backproject_proposed(small_filtered, small_geometry, z_range=(z, z + nz // 4)).data
+            for z in range(0, nz, nz // 4)
+        ]
+        np.testing.assert_allclose(np.concatenate(parts, axis=0), full.data, atol=1e-6)
+
+    def test_standard_slab_union_equals_full_volume(self, small_geometry, small_filtered):
+        full = backproject_standard(small_filtered, small_geometry)
+        nz = small_geometry.nz
+        parts = [
+            backproject_standard(small_filtered, small_geometry, z_range=(z, z + nz // 2)).data
+            for z in range(0, nz, nz // 2)
+        ]
+        np.testing.assert_allclose(np.concatenate(parts, axis=0), full.data, atol=1e-6)
+
+    def test_asymmetric_slab_still_matches_standard(self, small_geometry, small_filtered):
+        # A slab that does not contain its mirror slices exercises the
+        # fallback (direct) path of the proposed algorithm.
+        z_range = (3, 11)
+        std = backproject_standard(small_filtered, small_geometry, z_range=z_range)
+        new = backproject_proposed(small_filtered, small_geometry, z_range=z_range)
+        np.testing.assert_allclose(std.data, new.data, atol=1e-4)
+
+    def test_odd_nz_center_slice_handled(self, shepp_logan_phantom):
+        from repro.core import default_geometry_for_problem, forward_project_analytic, fdk_weight_and_filter
+
+        geo = default_geometry_for_problem(nu=32, nv=32, np_=8, nx=16, ny=16, nz=15)
+        stack = forward_project_analytic(shepp_logan_phantom, geo)
+        filt = fdk_weight_and_filter(stack, geo)
+        std = backproject_standard(filt, geo)
+        new = backproject_proposed(filt, geo)
+        np.testing.assert_allclose(std.data, new.data, atol=1e-4)
+
+    def test_volume_is_finite_and_nontrivial(self, small_geometry, small_filtered):
+        vol = backproject_proposed(small_filtered, small_geometry)
+        assert np.all(np.isfinite(vol.data))
+        assert np.abs(vol.data).max() > 0.05
+
+
+class TestBackProjector:
+    def test_incremental_accumulation_matches_batch(self, small_geometry, small_filtered):
+        reference = backproject_proposed(small_filtered, small_geometry)
+        projector = BackProjector(small_geometry, algorithm="proposed")
+        # Feed projections in two chunks, as the pipeline's BP thread does.
+        half = small_filtered.np_ // 2
+        projector.accumulate(small_filtered.data[:half], small_filtered.angles[:half])
+        projector.accumulate(small_filtered.data[half:], small_filtered.angles[half:])
+        np.testing.assert_allclose(projector.volume().data, reference.data, atol=1e-5)
+
+    def test_standard_algorithm_projector(self, small_geometry, small_filtered):
+        reference = backproject_standard(small_filtered, small_geometry)
+        projector = BackProjector(small_geometry, algorithm="standard")
+        projector.accumulate(small_filtered.data, small_filtered.angles)
+        np.testing.assert_allclose(projector.volume().data, reference.data, atol=1e-6)
+
+    def test_z_range_projector(self, small_geometry, small_filtered):
+        z_range = (8, 16)
+        reference = backproject_proposed(small_filtered, small_geometry, z_range=z_range)
+        projector = BackProjector(small_geometry, z_range=z_range)
+        projector.accumulate(small_filtered.data, small_filtered.angles)
+        np.testing.assert_allclose(projector.volume().data, reference.data, atol=1e-5)
+
+    def test_counters(self, small_geometry, small_filtered):
+        projector = BackProjector(small_geometry)
+        projector.accumulate(small_filtered.data[:5], small_filtered.angles[:5])
+        assert projector.projections_processed == 5
+        expected_updates = 5 * small_geometry.nx * small_geometry.ny * small_geometry.nz
+        assert projector.updates_performed == expected_updates
+
+    def test_reset(self, small_geometry, small_filtered):
+        projector = BackProjector(small_geometry)
+        projector.accumulate(small_filtered.data[0], small_filtered.angles[0])
+        projector.reset()
+        assert projector.projections_processed == 0
+        assert np.all(projector.volume().data == 0)
+
+    def test_single_projection_scalar_angle(self, small_geometry, small_filtered):
+        projector = BackProjector(small_geometry)
+        projector.accumulate(small_filtered.data[0], float(small_filtered.angles[0]))
+        assert projector.projections_processed == 1
+
+    def test_rejects_unknown_algorithm(self, small_geometry):
+        with pytest.raises(ValueError):
+            BackProjector(small_geometry, algorithm="magic")
+
+    def test_rejects_bad_z_range(self, small_geometry):
+        with pytest.raises(ValueError):
+            BackProjector(small_geometry, z_range=(10, 5))
+
+    def test_rejects_mismatched_angles(self, small_geometry, small_filtered):
+        projector = BackProjector(small_geometry)
+        with pytest.raises(ValueError):
+            projector.accumulate(small_filtered.data[:3], small_filtered.angles[:2])
+
+
+class TestOperationCounts:
+    def test_standard_counts(self):
+        p = ReconstructionProblem(nu=16, nv=16, np_=10, nx=8, ny=8, nz=8)
+        counts = operation_counts(p, "standard")
+        assert counts.inner_products == 3 * 8 * 8 * 8 * 10
+
+    def test_proposed_counts_much_smaller(self):
+        p = ReconstructionProblem(nu=16, nv=16, np_=10, nx=8, ny=8, nz=8)
+        std = operation_counts(p, "standard")
+        new = operation_counts(p, "proposed")
+        assert new.inner_products < std.inner_products
+        assert new.weighted_total < std.weighted_total
+
+    def test_reduction_approaches_one_sixth(self):
+        # Section 3.2.2: the projection computation cost tends to 1/6.
+        p = ReconstructionProblem(nu=64, nv=64, np_=100, nx=512, ny=512, nz=512)
+        ratio = projection_compute_reduction(p)
+        assert ratio == pytest.approx(1.0 / 6.0, rel=0.02)
+
+    def test_reduction_worse_for_shallow_volumes(self):
+        shallow = ReconstructionProblem(nu=64, nv=64, np_=10, nx=128, ny=128, nz=2)
+        deep = ReconstructionProblem(nu=64, nv=64, np_=10, nx=128, ny=128, nz=512)
+        assert projection_compute_reduction(shallow) > projection_compute_reduction(deep)
+
+    def test_unknown_algorithm_rejected(self):
+        p = ReconstructionProblem(nu=4, nv=4, np_=2, nx=4, ny=4, nz=4)
+        with pytest.raises(ValueError):
+            operation_counts(p, "other")

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reconstruct_defaults(self):
+        args = build_parser().parse_args(["reconstruct"])
+        assert args.algorithm == "proposed"
+        assert not args.distributed
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict", "--gpus", "128"])
+        assert args.gpus == 128
+
+
+class TestReconstructCommand:
+    def test_single_node_reconstruction(self, tmp_path, capsys):
+        out = tmp_path / "volume.npy"
+        report = tmp_path / "report.json"
+        code = main([
+            "reconstruct",
+            "--problem", "32x32x12->16x16x16",
+            "--output", str(out),
+            "--report", str(report),
+        ])
+        assert code == 0
+        volume = np.load(out)
+        assert volume.shape == (16, 16, 16)
+        data = json.loads(report.read_text())
+        assert data["mode"] == "single-node"
+        assert data["gups"] > 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["problem"] == "32x32x12->16x16x16"
+
+    def test_distributed_reconstruction(self, tmp_path, capsys):
+        code = main([
+            "reconstruct",
+            "--problem", "32x32x8->16x16x16",
+            "--distributed", "--rows", "2", "--columns", "2",
+        ])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["mode"] == "distributed"
+        assert printed["rows"] == 2 and printed["columns"] == 2
+
+    def test_standard_algorithm_selectable(self, capsys):
+        code = main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                     "--algorithm", "standard"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["algorithm"] == "standard"
+
+
+class TestPredictCommand:
+    def test_default_4k_problem(self, capsys):
+        assert main(["predict", "--gpus", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "R=32" in out and "t_runtime" in out
+
+    def test_explicit_rows(self, capsys):
+        assert main(["predict", "--gpus", "256", "--rows", "256"]) == 0
+        assert "C=1" in capsys.readouterr().out
+
+    def test_invalid_rows_returns_error_code(self, capsys):
+        assert main(["predict", "--gpus", "100", "--rows", "64"]) == 2
+
+
+class TestTable4Command:
+    def test_prints_all_kernels(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("RTK-32", "Bp-Tex", "Tex-Tran", "Bp-L1", "L1-Tran"):
+            assert name in out
+        assert "512x512x1024->128x128x128" in out

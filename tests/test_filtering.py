@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.filtering (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import (
+    RAMP_FILTERS,
+    FilteringStage,
+    apply_ramp_filter,
+    cosine_weight_table,
+    fdk_normalization,
+    fdk_weight_and_filter,
+    filter_projections,
+    measure_filtering_throughput,
+    ramp_filter_frequency_response,
+    ramp_kernel_spatial,
+)
+from repro.core.types import ProjectionStack
+
+
+class TestCosineWeight:
+    def test_center_weight_is_one(self, small_geometry):
+        table = cosine_weight_table(small_geometry)
+        assert table.shape == (small_geometry.nv, small_geometry.nu)
+        cv, cu = (small_geometry.nv - 1) // 2, (small_geometry.nu - 1) // 2
+        assert float(table[cv, cu]) == pytest.approx(1.0, abs=0.01)
+
+    def test_weights_decrease_towards_corners(self, small_geometry):
+        table = cosine_weight_table(small_geometry)
+        assert table[0, 0] < table[small_geometry.nv // 2, small_geometry.nu // 2]
+        assert np.all(table > 0) and np.all(table <= 1.0)
+
+    def test_symmetry(self, small_geometry):
+        table = cosine_weight_table(small_geometry)
+        np.testing.assert_allclose(table, table[::-1, :], atol=1e-6)
+        np.testing.assert_allclose(table, table[:, ::-1], atol=1e-6)
+
+
+class TestRampKernel:
+    def test_kak_slaney_taps(self):
+        tau = 2.0
+        kernel = ramp_kernel_spatial(8, tau)
+        assert kernel[0] == pytest.approx(1.0 / (4 * tau * tau))
+        assert kernel[1] == pytest.approx(-1.0 / (np.pi * 1 * tau) ** 2)
+        assert kernel[2] == 0.0
+        assert kernel[3] == pytest.approx(-1.0 / (np.pi * 3 * tau) ** 2)
+
+    def test_rejects_invalid_args(self):
+        with pytest.raises(ValueError):
+            ramp_kernel_spatial(1, 1.0)
+        with pytest.raises(ValueError):
+            ramp_kernel_spatial(8, 0.0)
+
+    def test_response_is_real_and_nonnegative(self):
+        resp = ramp_filter_frequency_response(64, 1.0)
+        assert resp.shape[0] >= 128
+        assert np.all(resp >= -1e-9)
+        # The band-limited (Kak & Slaney) kernel has a small positive DC gain
+        # that shrinks with the FFT length; it must be far below the Nyquist gain.
+        assert resp[0] < 0.01 * resp[len(resp) // 2]
+
+    @pytest.mark.parametrize("window", RAMP_FILTERS)
+    def test_all_windows_supported(self, window):
+        resp = ramp_filter_frequency_response(32, 1.0, window)
+        assert np.all(np.isfinite(resp))
+
+    def test_windowed_responses_attenuate_high_frequencies(self):
+        ram_lak = ramp_filter_frequency_response(64, 1.0, "ram-lak")
+        hann = ramp_filter_frequency_response(64, 1.0, "hann")
+        nyquist_bin = len(ram_lak) // 2
+        assert hann[nyquist_bin] < ram_lak[nyquist_bin]
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_filter_frequency_response(32, 1.0, "boxcar")
+
+
+class TestApplyRampFilter:
+    def test_constant_rows_filter_to_near_zero(self):
+        rows = np.ones((4, 64), dtype=np.float32)
+        out = apply_ramp_filter(rows, tau=1.0)
+        # The ramp filter removes DC; a constant row maps to ~0 (edge effects aside).
+        assert np.abs(out[:, 16:48]).max() < 0.05
+
+    def test_impulse_response_shape(self):
+        rows = np.zeros((1, 65), dtype=np.float32)
+        rows[0, 32] = 1.0
+        out = apply_ramp_filter(rows, tau=1.0)
+        # Peak at the impulse, negative side lobes at odd offsets.
+        assert out[0, 32] == pytest.approx(0.25, rel=1e-3)
+        assert out[0, 31] < 0 and out[0, 33] < 0
+        assert out[0, 30] == pytest.approx(0.0, abs=1e-6)
+
+    def test_linearity(self, rng):
+        a = rng.random((3, 40), dtype=np.float32)
+        b = rng.random((3, 40), dtype=np.float32)
+        fa = apply_ramp_filter(a, 1.0)
+        fb = apply_ramp_filter(b, 1.0)
+        fab = apply_ramp_filter(a + b, 1.0)
+        np.testing.assert_allclose(fab, fa + fb, atol=1e-4)
+
+
+class TestFilterProjections:
+    def test_output_shape_and_flag(self, small_geometry, small_projections):
+        filtered = filter_projections(small_projections, small_geometry)
+        assert filtered.data.shape == small_projections.data.shape
+        assert filtered.filtered is True
+        np.testing.assert_array_equal(filtered.angles, small_projections.angles)
+
+    def test_detector_mismatch_raises(self, small_geometry, rng):
+        bad = ProjectionStack(data=rng.random((4, 8, 8)), angles=np.zeros(4))
+        with pytest.raises(ValueError):
+            filter_projections(bad, small_geometry)
+
+    def test_fdk_normalization_value(self, small_geometry):
+        expected = small_geometry.sad**2 * small_geometry.theta / 2.0
+        assert fdk_normalization(small_geometry) == pytest.approx(expected)
+
+    def test_fdk_weight_and_filter_is_scaled_filtering(
+        self, small_geometry, small_projections
+    ):
+        plain = filter_projections(small_projections, small_geometry)
+        scaled = fdk_weight_and_filter(small_projections, small_geometry)
+        ratio = fdk_normalization(small_geometry)
+        np.testing.assert_allclose(
+            scaled.data, plain.data * np.float32(ratio), rtol=1e-4
+        )
+
+
+class TestFilteringStage:
+    def test_single_and_batch_agree(self, small_geometry, small_projections):
+        stage = FilteringStage(small_geometry)
+        batch = stage(small_projections.data[:4])
+        singles = np.stack([stage(p) for p in small_projections.data[:4]])
+        np.testing.assert_allclose(batch, singles, atol=1e-5)
+
+    def test_matches_fdk_weight_and_filter(self, small_geometry, small_projections):
+        stage = FilteringStage(small_geometry)
+        np.testing.assert_allclose(
+            stage(small_projections.data),
+            fdk_weight_and_filter(small_projections, small_geometry).data,
+            atol=1e-5,
+        )
+
+    def test_counts_projections(self, small_geometry, small_projections):
+        stage = FilteringStage(small_geometry)
+        stage(small_projections.data[:3])
+        stage(small_projections.data[0])
+        assert stage.projections_filtered == 4
+
+    def test_rejects_wrong_shape(self, small_geometry, rng):
+        stage = FilteringStage(small_geometry)
+        with pytest.raises(ValueError):
+            stage(rng.random((3, 3)))
+
+    def test_rejects_unknown_window(self, small_geometry):
+        with pytest.raises(ValueError):
+            FilteringStage(small_geometry, window="unknown")
+
+    def test_filter_stack_wrapper(self, small_geometry, small_projections):
+        stage = FilteringStage(small_geometry)
+        out = stage.filter_stack(small_projections)
+        assert out.filtered and out.np_ == small_projections.np_
+
+
+def test_measure_filtering_throughput_positive(small_geometry):
+    th = measure_filtering_throughput(small_geometry, n_projections=2, repeats=1)
+    assert th > 0

@@ -1,0 +1,132 @@
+"""Tests for the forward projectors and the single-node FDK reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FDKReconstructor,
+    default_geometry_for_problem,
+    forward_project_analytic,
+    forward_project_volume,
+    reconstruct_fdk,
+    shepp_logan_3d,
+    uniform_sphere_phantom,
+)
+from repro.core.metrics import interior_mask, normalized_cross_correlation, rmse
+
+
+class TestForwardProjectors:
+    def test_analytic_projection_shape_and_positivity(self, small_geometry, small_projections):
+        assert small_projections.data.shape == (
+            small_geometry.np_, small_geometry.nv, small_geometry.nu,
+        )
+        assert np.all(small_projections.data >= -1e-5)
+        assert small_projections.data.max() > 0
+
+    def test_central_ray_integral_matches_sphere_diameter(self):
+        geo = default_geometry_for_problem(nu=64, nv=64, np_=4, nx=32, ny=32, nz=32)
+        sphere = uniform_sphere_phantom(radius=0.5, value=1.0)
+        stack = forward_project_analytic(sphere, geo)
+        # The central detector pixel sees a chord through the sphere centre:
+        # diameter = 0.5 * 32 voxels * 1 mm = 16 mm.
+        center = stack.data[0, (geo.nv - 1) // 2, (geo.nu - 1) // 2]
+        assert center == pytest.approx(16.0, rel=0.05)
+
+    def test_volume_projector_agrees_with_analytic(self):
+        geo = default_geometry_for_problem(nu=48, nv=48, np_=6, nx=32, ny=32, nz=32)
+        sphere = uniform_sphere_phantom(radius=0.6, value=1.0)
+        analytic = forward_project_analytic(sphere, geo)
+        numeric = forward_project_volume(sphere.rasterize(32, 32, 32, supersample=2), geo)
+        mask = analytic.data > 2.0  # compare well inside the shadow of the sphere
+        rel_err = np.abs(numeric.data[mask] - analytic.data[mask]) / analytic.data[mask]
+        assert np.median(rel_err) < 0.08
+
+    def test_volume_projector_rejects_shape_mismatch(self, small_geometry):
+        from repro.core.types import Volume
+
+        with pytest.raises(ValueError):
+            forward_project_volume(Volume.zeros(8, 8, 8), small_geometry)
+
+    def test_volume_projector_rejects_bad_step(self, small_geometry, small_reference_volume):
+        with pytest.raises(ValueError):
+            forward_project_volume(small_reference_volume, small_geometry, step_mm=0.0)
+
+    def test_empty_volume_projects_to_zero(self, small_geometry):
+        from repro.core.types import Volume
+
+        vol = Volume.zeros(small_geometry.nx, small_geometry.ny, small_geometry.nz)
+        stack = forward_project_volume(vol, small_geometry, angles=[0.0])
+        assert np.all(stack.data == 0)
+
+    def test_projection_angles_respected(self, shepp_logan_phantom, small_geometry):
+        stack = forward_project_analytic(shepp_logan_phantom, small_geometry, angles=[0.0, 1.0])
+        assert stack.np_ == 2
+        assert stack.angles.tolist() == [0.0, 1.0]
+
+
+class TestFDKReconstruction:
+    def test_reconstruction_quantitatively_close_to_phantom(
+        self, small_geometry, small_projections, small_reference_volume
+    ):
+        volume = reconstruct_fdk(small_projections, small_geometry)
+        mask = interior_mask(small_reference_volume.shape, 0.7)
+        err = rmse(volume.data, small_reference_volume.data, mask)
+        ncc = normalized_cross_correlation(volume.data, small_reference_volume.data, mask)
+        assert err < 0.12
+        assert ncc > 0.6
+        # Absolute scale is preserved (the FDK normalization is correct):
+        center = volume.data[
+            small_geometry.nz // 2, small_geometry.ny // 2, small_geometry.nx // 2
+        ]
+        assert center == pytest.approx(0.2, abs=0.08)
+
+    def test_sphere_center_value_reconstructed(self):
+        geo = default_geometry_for_problem(nu=64, nv=64, np_=60, nx=32, ny=32, nz=32)
+        sphere = uniform_sphere_phantom(radius=0.6, value=1.0)
+        stack = forward_project_analytic(sphere, geo)
+        volume = reconstruct_fdk(stack, geo)
+        assert volume.data[16, 16, 16] == pytest.approx(1.0, abs=0.15)
+
+    def test_both_algorithms_give_same_reconstruction(self, small_geometry, small_projections):
+        a = reconstruct_fdk(small_projections, small_geometry, algorithm="standard")
+        b = reconstruct_fdk(small_projections, small_geometry, algorithm="proposed")
+        np.testing.assert_allclose(a.data, b.data, atol=1e-4)
+
+    def test_reconstructor_reports_timings_and_gups(self, small_geometry, small_projections):
+        result = FDKReconstructor(geometry=small_geometry).reconstruct(small_projections)
+        assert result.filter_seconds >= 0
+        assert result.backprojection_seconds > 0
+        assert result.gups > 0
+        assert result.total_seconds >= result.backprojection_seconds
+
+    def test_reconstructor_accepts_prefiltered_stack(self, small_geometry, small_filtered):
+        recon = FDKReconstructor(geometry=small_geometry)
+        result = recon.reconstruct(small_filtered)
+        reference = recon.backproject(small_filtered)
+        np.testing.assert_allclose(result.volume.data, reference.data, atol=1e-6)
+
+    def test_reconstructor_validates_configuration(self, small_geometry):
+        with pytest.raises(ValueError):
+            FDKReconstructor(geometry=small_geometry, ramp_filter="nope")
+        with pytest.raises(ValueError):
+            FDKReconstructor(geometry=small_geometry, algorithm="nope")
+
+    def test_reconstructor_rejects_mismatched_stack(self, small_geometry, medium_projections):
+        with pytest.raises(ValueError):
+            FDKReconstructor(geometry=small_geometry).reconstruct(medium_projections)
+
+    @pytest.mark.parametrize("window", ["ram-lak", "hann", "shepp-logan"])
+    def test_apodized_filters_reduce_noise_amplification(
+        self, small_geometry, small_projections, window
+    ):
+        volume = reconstruct_fdk(small_projections, small_geometry, ramp_filter=window)
+        assert np.all(np.isfinite(volume.data))
+
+    def test_z_slab_reconstructor(self, small_geometry, small_projections):
+        full = FDKReconstructor(geometry=small_geometry).reconstruct(small_projections)
+        slab = FDKReconstructor(geometry=small_geometry, z_range=(8, 24)).reconstruct(
+            small_projections
+        )
+        np.testing.assert_allclose(slab.volume.data, full.volume.data[8:24], atol=1e-5)

@@ -1,0 +1,267 @@
+"""Tests for the simulated GPU substrate (device, memory, warp, kernels, cost model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import default_geometry_for_problem, fdk_weight_and_filter
+from repro.core.backprojection import backproject_proposed, backproject_standard
+from repro.core.types import problem_from_string
+from repro.gpusim import (
+    BP_L1,
+    BP_TEX,
+    KERNEL_VARIANTS,
+    L1_TRAN,
+    RTK_32,
+    TESLA_V100,
+    TEX_TRAN,
+    BackprojectionCostModel,
+    DeviceMemoryPool,
+    DeviceOutOfMemoryError,
+    DeviceSpec,
+    PCIeModel,
+    Warp,
+    get_kernel,
+    predict_table4,
+    shfl_bp_reference,
+)
+from repro.bench import TABLE4_PROBLEMS
+
+
+class TestDeviceSpec:
+    def test_v100_constants(self):
+        assert TESLA_V100.global_memory_bytes == 16 * 2**30
+        assert TESLA_V100.warp_size == 32
+        assert TESLA_V100.effective_dram_bandwidth < TESLA_V100.dram_bandwidth
+
+    def test_memory_fit_checks(self):
+        assert TESLA_V100.fits_in_memory(8 * 2**30)
+        assert not TESLA_V100.fits_in_memory(17 * 2**30)
+
+    def test_max_subvolume(self):
+        batch = 32 * 2048 * 2048 * 4
+        assert TESLA_V100.max_subvolume_bytes(batch) == 16 * 2**30 - batch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", global_memory_bytes=0, dram_bandwidth=1, fp32_flops=1,
+                l2_cache_bytes=1, sm_count=1,
+            )
+
+
+class TestDeviceMemoryPool:
+    def test_allocate_and_free(self):
+        pool = DeviceMemoryPool(TESLA_V100)
+        alloc = pool.allocate("vol", (1024, 1024), np.float32)
+        assert alloc.nbytes == 1024 * 1024 * 4
+        assert pool.used_bytes == alloc.nbytes
+        pool.free("vol")
+        assert pool.used_bytes == 0
+
+    def test_out_of_memory(self):
+        pool = DeviceMemoryPool(TESLA_V100, materialize=False)
+        pool.allocate("a", (2 * 2**30,), np.float32)  # 8 GiB
+        with pytest.raises(DeviceOutOfMemoryError):
+            pool.allocate("b", (3 * 2**30,), np.float32)  # 12 GiB more
+
+    def test_duplicate_name_rejected(self):
+        pool = DeviceMemoryPool(TESLA_V100, materialize=False)
+        pool.allocate("a", (16,))
+        with pytest.raises(ValueError):
+            pool.allocate("a", (16,))
+
+    def test_peak_tracking(self):
+        pool = DeviceMemoryPool(TESLA_V100, materialize=False)
+        pool.allocate("a", (1000,))
+        pool.free("a")
+        pool.allocate("b", (10,))
+        assert pool.peak_bytes == 4000
+
+    def test_section_415_constraint_check(self):
+        pool = DeviceMemoryPool(TESLA_V100, materialize=False)
+        # 8 GB sub-volume + 32 x 2k^2 batch fits in 16 GB
+        assert pool.can_fit_reconstruction(2 * 2**30, 2048, 2048, 32)
+        # 16 GB sub-volume does not
+        assert not pool.can_fit_reconstruction(4 * 2**30, 2048, 2048, 32)
+
+    def test_free_unknown_raises(self):
+        pool = DeviceMemoryPool(TESLA_V100, materialize=False)
+        with pytest.raises(KeyError):
+            pool.free("nothing")
+
+
+class TestWarp:
+    def test_shuffle_broadcasts_from_lane(self):
+        warp = Warp(width=8)
+        warp.broadcast_write("Z", np.arange(8))
+        received = warp.shfl_sync(0xFF, "Z", 5)
+        assert np.all(received == 5.0)
+
+    def test_read_unwritten_register_is_zero(self):
+        warp = Warp(width=4)
+        assert warp.read(2, "U") == 0.0
+
+    def test_lane_bounds_checked(self):
+        warp = Warp(width=4)
+        with pytest.raises(IndexError):
+            warp.write(4, "Z", 1.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            Warp(width=0)
+
+
+class TestKernelVariants:
+    def test_table3_characteristics(self):
+        # The characteristics matrix of Table 3, row by row.
+        assert RTK_32.characteristics() == {
+            "Texture cache": True, "L1 cache": False,
+            "Transpose projection": False, "Transpose Volume": False,
+        } or RTK_32.characteristics() == {
+            "Texture cache": True, "L1 cache": False,
+            "Transpose projection": False, "Transpose volume": False,
+        }
+        assert L1_TRAN.characteristics()["L1 cache"] is True
+        assert L1_TRAN.characteristics()["Transpose projection"] is True
+        assert BP_L1.characteristics()["Texture cache"] is False
+        assert BP_L1.characteristics()["L1 cache"] is False
+        assert TEX_TRAN.characteristics()["Transpose projection"] is True
+        assert BP_TEX.characteristics()["Transpose projection"] is False
+
+    def test_only_rtk_runs_algorithm2(self):
+        assert RTK_32.algorithm == "standard"
+        assert all(k.algorithm == "proposed" for k in KERNEL_VARIANTS if k is not RTK_32)
+
+    def test_get_kernel_case_insensitive(self):
+        assert get_kernel("l1-tran") is L1_TRAN
+        with pytest.raises(ValueError):
+            get_kernel("unknown-kernel")
+
+    def test_rtk_output_size_limit(self):
+        # RTK double-buffers the volume, so a 9 GiB output needs 18 GiB of
+        # device memory and cannot run on a 16 GiB V100; the proposed
+        # kernels write in place.
+        assert RTK_32.device_output_bytes(9 * 2**30) > TESLA_V100.global_memory_bytes
+        assert L1_TRAN.device_output_bytes(9 * 2**30) < TESLA_V100.global_memory_bytes
+        assert RTK_32.supports_output_bytes(8 * 2**30)
+
+    def test_kernel_execution_matches_reference(self, small_geometry, small_filtered):
+        std_ref = backproject_standard(small_filtered, small_geometry)
+        new_ref = backproject_proposed(small_filtered, small_geometry)
+        rtk = RTK_32.backproject(small_filtered, small_geometry)
+        l1 = L1_TRAN.backproject(small_filtered, small_geometry)
+        np.testing.assert_allclose(rtk.data, std_ref.data, atol=1e-6)
+        np.testing.assert_allclose(l1.data, new_ref.data, atol=1e-6)
+
+    def test_all_kernels_agree_numerically(self, small_geometry, small_filtered):
+        volumes = [k.backproject(small_filtered, small_geometry).data for k in KERNEL_VARIANTS]
+        for other in volumes[1:]:
+            np.testing.assert_allclose(volumes[0], other, atol=2e-4)
+
+
+class TestShflBPReference:
+    def test_matches_algorithm4_for_single_voxel(self):
+        geo = default_geometry_for_problem(nu=32, nv=32, np_=8, nx=12, ny=12, nz=12)
+        from repro.core import EllipsoidPhantom, forward_project_analytic, shepp_logan_ellipsoids
+
+        stack = forward_project_analytic(
+            EllipsoidPhantom(shepp_logan_ellipsoids()), geo
+        )
+        filt = fdk_weight_and_filter(stack, geo)
+        volume = backproject_proposed(filt, geo)
+        i, j, k = 4, 6, 3
+        total, total_mirror = shfl_bp_reference(filt, geo, (i, j, k))
+        k_mirror = geo.nz - 1 - k
+        assert total == pytest.approx(float(volume.data[k, j, i]), rel=1e-3, abs=1e-4)
+        assert total_mirror == pytest.approx(float(volume.data[k_mirror, j, i]), rel=1e-3, abs=1e-4)
+
+    def test_rejects_oversized_batch(self, small_geometry, small_filtered):
+        big = small_filtered
+        if big.np_ <= 32:
+            pytest.skip("fixture batch not larger than a warp")
+
+    def test_rejects_voxel_outside_volume(self, small_geometry, small_filtered):
+        with pytest.raises(ValueError):
+            shfl_bp_reference(small_filtered.subset(range(8)), small_geometry, (999, 0, 0))
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def table4(self):
+        rows = predict_table4(TABLE4_PROBLEMS)
+        return {r["problem"]: r for r in rows}
+
+    def test_proposed_kernel_wins_at_small_alpha(self, table4):
+        # The headline claim: L1-Tran beats RTK-32 for typical problems (alpha <= 1),
+        # by a factor of at least ~1.4 (the paper reports up to 1.6-1.8x).
+        row = table4["512x512x1024->1024x1024x1024"]
+        assert row["L1-Tran"] > 1.4 * row["RTK-32"]
+
+    def test_rtk_wins_for_tiny_outputs_with_huge_projections(self, table4):
+        # The crossover of Table 4: 2k^2 projections into a 128^3 volume.
+        row = table4["2048x2048x1024->128x128x128"]
+        assert row["RTK-32"] > row["L1-Tran"]
+        assert row["RTK-32"] > row["Bp-L1"]
+
+    def test_gups_decreases_with_alpha_for_every_kernel(self, table4):
+        # Within one input size, larger outputs (smaller alpha) give higher GUPS.
+        for kernel in ("RTK-32", "L1-Tran", "Bp-L1", "Bp-Tex", "Tex-Tran"):
+            series = [
+                table4[f"1024x1024x1024->{s}"][kernel]
+                for s in ("128x128x128", "256x256x256", "512x512x512", "1024x1024x1024")
+            ]
+            values = [v for v in series if v == v]
+            assert values == sorted(values), f"{kernel} not monotone: {series}"
+
+    def test_bp_l1_sensitive_to_projection_size(self, table4):
+        # Bp-L1's plain global loads collapse once the projection exceeds L2.
+        small_proj = table4["512x512x1024->1024x1024x1024"]["Bp-L1"]
+        large_proj = table4["2048x2048x1024->1024x1024x1024"]["Bp-L1"]
+        assert small_proj > 1.5 * large_proj
+
+    def test_l1_tran_beats_bp_l1_everywhere(self, table4):
+        for row in table4.values():
+            if row["Bp-L1"] == row["Bp-L1"]:  # not NaN
+                assert row["L1-Tran"] > row["Bp-L1"]
+
+    def test_rtk_na_for_outputs_beyond_8gb(self, table4):
+        row = table4["512x512x1024->1024x1024x2048"]
+        assert row["RTK-32"] != row["RTK-32"]  # NaN marks the paper's N/A
+
+    def test_timing_breakdown_components_positive(self):
+        model = BackprojectionCostModel()
+        timing = model.timing(L1_TRAN, problem_from_string("512x512x1024->512x512x512"))
+        assert timing.prep_seconds > 0
+        assert timing.update_seconds > 0
+        assert timing.total_seconds > timing.update_seconds
+        assert timing.gups > 0
+
+    def test_throughput_scales_with_device(self):
+        p = problem_from_string("512x512x1024->512x512x512")
+        from repro.gpusim import A100_40GB
+
+        v100 = BackprojectionCostModel(TESLA_V100).gups(L1_TRAN, p)
+        a100 = BackprojectionCostModel(A100_40GB).gups(L1_TRAN, p)
+        assert a100 > v100
+
+
+class TestPCIeModel:
+    def test_transfer_time_matches_paper_anchor(self):
+        # Section 5.3.3: 32 GB over two PCIe links in ~2.6-2.7 s.
+        model = PCIeModel()
+        seconds = model.node_d2h_seconds(32 * 10**9)
+        assert seconds == pytest.approx(32e9 / (2 * 11.9e9), rel=0.05)
+
+    def test_contention_halves_per_gpu_bandwidth(self):
+        model = PCIeModel()
+        assert model.per_gpu_bandwidth == pytest.approx(11.9e9 / 2)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeModel().transfer_seconds(-1)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeModel(links_per_node=0)

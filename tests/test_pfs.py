@@ -1,0 +1,151 @@
+"""Tests for the simulated parallel file system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import ProjectionStack
+from repro.pfs import (
+    PFSConfig,
+    SimulatedPFS,
+    dataset_angles,
+    modelled_store_seconds,
+    projection_object_name,
+    read_projection_subset,
+    read_volume,
+    write_projection_dataset,
+    write_volume_slices,
+)
+
+
+class TestPFSConfig:
+    def test_defaults_match_paper(self):
+        config = PFSConfig()
+        assert config.write_bandwidth == pytest.approx(28.5e9)
+
+    def test_stripe_efficiency(self):
+        config = PFSConfig(stripe_size=1 << 20, stripe_count=16)
+        assert config.stripe_efficiency(32 << 20) == 1.0
+        assert config.stripe_efficiency(1 << 20) == pytest.approx(1 / 16)
+
+    def test_small_files_slower_per_byte(self):
+        config = PFSConfig()
+        per_byte_small = config.write_seconds(1 << 20) / (1 << 20)
+        per_byte_large = config.write_seconds(256 << 20) / (256 << 20)
+        assert per_byte_small > per_byte_large
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PFSConfig(write_bandwidth=0)
+        with pytest.raises(ValueError):
+            PFSConfig(stripe_count=0)
+
+
+class TestSimulatedPFS:
+    def test_roundtrip_in_memory(self, rng):
+        pfs = SimulatedPFS()
+        data = rng.random((5, 6)).astype(np.float32)
+        pfs.write_array("x", data)
+        out = pfs.read_array("x")
+        np.testing.assert_array_equal(out, data)
+        assert out.dtype == np.float32
+
+    def test_roundtrip_on_disk(self, rng, tmp_path):
+        pfs = SimulatedPFS(root_dir=tmp_path)
+        data = rng.random((3, 4, 5)).astype(np.float64)
+        pfs.write_array("volumes/test/z1", data)
+        np.testing.assert_array_equal(pfs.read_array("volumes/test/z1"), data)
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_missing_object_raises(self):
+        with pytest.raises(KeyError):
+            SimulatedPFS().read_array("nope")
+
+    def test_statistics_accumulate(self, rng):
+        pfs = SimulatedPFS()
+        pfs.write_array("a", rng.random(100).astype(np.float32))
+        pfs.read_array("a")
+        assert pfs.stats.files_written == 1
+        assert pfs.stats.files_read == 1
+        assert pfs.stats.bytes_written > 400
+        assert pfs.stats.modelled_write_seconds > 0
+
+    def test_exists_list_delete(self, rng):
+        pfs = SimulatedPFS()
+        pfs.write_array("a", rng.random(4))
+        pfs.write_array("b", rng.random(4))
+        assert pfs.exists("a")
+        assert pfs.list_objects() == ["a", "b"]
+        pfs.delete("a")
+        assert not pfs.exists("a")
+
+    def test_aggregate_models(self):
+        pfs = SimulatedPFS()
+        # Eq. 16 anchor: 256 GB at 28.5 GB/s ~ 9 s (Section 5.3.3).
+        assert pfs.modelled_aggregate_write_seconds(256e9) == pytest.approx(9.0, rel=0.02)
+        with pytest.raises(ValueError):
+            pfs.modelled_aggregate_read_seconds(-1)
+
+
+class TestProjectionIO:
+    def test_write_and_read_subset(self, small_projections):
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, small_projections)
+        subset = read_projection_subset(pfs, [3, 0, 5])
+        np.testing.assert_array_equal(subset.data[0], small_projections.data[3])
+        np.testing.assert_array_equal(subset.data[1], small_projections.data[0])
+        assert subset.angles[2] == pytest.approx(small_projections.angles[5])
+
+    def test_angles_stored(self, small_projections):
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, small_projections)
+        np.testing.assert_allclose(dataset_angles(pfs), small_projections.angles)
+
+    def test_object_names(self):
+        assert projection_object_name(7) == "projections/000007"
+        with pytest.raises(ValueError):
+            projection_object_name(-1)
+
+    def test_out_of_range_index(self, small_projections):
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, small_projections)
+        with pytest.raises(IndexError):
+            read_projection_subset(pfs, [small_projections.np_])
+
+    def test_empty_subset_rejected(self, small_projections):
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, small_projections)
+        with pytest.raises(ValueError):
+            read_projection_subset(pfs, [])
+
+
+class TestVolumeIO:
+    def test_slab_roundtrip(self, rng):
+        pfs = SimulatedPFS()
+        data = rng.random((8, 6, 4)).astype(np.float32)
+        write_volume_slices(pfs, "vol", data[:4], z_offset=0)
+        write_volume_slices(pfs, "vol", data[4:], z_offset=4)
+        out = read_volume(pfs, "vol")
+        np.testing.assert_array_equal(out.data, data)
+
+    def test_slices_per_file_groups_objects(self, rng):
+        pfs = SimulatedPFS()
+        data = rng.random((8, 4, 4)).astype(np.float32)
+        write_volume_slices(pfs, "vol", data, slices_per_file=4)
+        assert len([n for n in pfs.list_objects() if n.startswith("volumes/vol")]) == 2
+
+    def test_missing_volume_raises(self):
+        with pytest.raises(KeyError):
+            read_volume(SimulatedPFS(), "ghost")
+
+    def test_invalid_args(self, rng):
+        pfs = SimulatedPFS()
+        with pytest.raises(ValueError):
+            write_volume_slices(pfs, "v", rng.random((4, 4)))
+        with pytest.raises(ValueError):
+            write_volume_slices(pfs, "v", rng.random((4, 4, 4)), slices_per_file=0)
+
+    def test_modelled_store_seconds(self):
+        pfs = SimulatedPFS()
+        assert modelled_store_seconds(pfs, 256 * 10**9) == pytest.approx(9.0, rel=0.02)

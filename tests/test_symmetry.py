@@ -1,0 +1,92 @@
+"""Property-based tests of the three theorems (Section 3.2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import CBCTGeometry
+from repro.core.symmetry import (
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    mirrored_detector_row,
+    mirrored_voxel,
+    verify_geometry_symmetry,
+)
+
+
+def _geometry(nu, nv, np_, nx, ny, nz, sad, mag, du, dv, dx):
+    return CBCTGeometry(
+        nu=nu, nv=nv, np_=np_,
+        du=du, dv=dv,
+        sad=sad, sdd=sad * mag,
+        nx=nx, ny=ny, nz=nz,
+        dx=dx, dy=dx, dz=dx,
+    )
+
+
+geometry_strategy = st.builds(
+    _geometry,
+    nu=st.integers(8, 64),
+    nv=st.integers(8, 64),
+    np_=st.integers(4, 32),
+    nx=st.integers(4, 48),
+    ny=st.integers(4, 48),
+    nz=st.integers(4, 48),
+    sad=st.floats(50.0, 500.0),
+    mag=st.floats(1.1, 3.0),
+    du=st.floats(0.1, 4.0),
+    dv=st.floats(0.1, 4.0),
+    dx=st.floats(0.1, 2.0),
+)
+
+
+class TestMirrorHelpers:
+    def test_mirrored_voxel(self):
+        assert mirrored_voxel(0, 10) == 9
+        assert mirrored_voxel(4, 10) == 5
+
+    def test_mirrored_voxel_bounds(self):
+        with pytest.raises(ValueError):
+            mirrored_voxel(10, 10)
+
+    def test_mirrored_detector_row(self):
+        np.testing.assert_allclose(mirrored_detector_row(np.array([0.0, 3.5]), 8), [7.0, 3.5])
+
+
+class TestTheoremsOnFixedGeometry:
+    def test_theorem1_exact(self, small_geometry):
+        pm = small_geometry.projection_matrix(0.77)
+        du, dv = check_theorem1(pm, 3, 7, np.arange(small_geometry.nz))
+        assert np.max(np.abs(du)) < 1e-9
+        assert np.max(np.abs(dv)) < 1e-9
+
+    def test_theorem2_exact(self, small_geometry):
+        pm = small_geometry.projection_matrix(1.9)
+        spread = check_theorem2(pm, np.arange(0, small_geometry.nx, 5), 11)
+        assert np.max(spread) < 1e-9
+
+    def test_theorem3_exact(self, small_geometry):
+        pm = small_geometry.projection_matrix(2.5)
+        residual = check_theorem3(pm, np.arange(0, small_geometry.nx, 3), 4)
+        assert np.max(residual) < 1e-8
+
+    def test_report_holds(self, small_geometry):
+        report = verify_geometry_symmetry(small_geometry)
+        assert report.holds(atol=1e-6)
+
+
+@given(geometry=geometry_strategy, beta=st.floats(0.0, 2 * np.pi))
+@settings(max_examples=40, deadline=None)
+def test_all_theorems_hold_for_random_geometries(geometry, beta):
+    """Theorems 1-3 are exact for every circular-orbit geometry of Eq. 2."""
+    report = verify_geometry_symmetry(geometry, beta=beta, samples=4)
+    # Residuals are round-off relative to the geometry scale.
+    scale = max(geometry.sad, geometry.nu, geometry.nv)
+    assert report.theorem1_u <= 1e-9 * scale
+    assert report.theorem1_v <= 1e-9 * scale
+    assert report.theorem2_u_spread <= 1e-9 * scale
+    assert report.theorem3_z_residual <= 1e-9 * scale
