@@ -1,0 +1,74 @@
+"""Service-layer benchmark: SLO-aware packing vs. naive FIFO scheduling.
+
+Replays the synthetic mixed Table-4 workload trace (interactive 1024-
+projection scans plus heavy 2K reconstructions, the Figure 6 problem)
+through the reconstruction service under both scheduling policies on a
+16-GPU simulated cluster, and reports the operator-facing KPIs side by
+side.  The headline result the serving layer exists for: the SLO-aware
+scheduler beats naive FIFO on p99 latency and SLO attainment because it
+right-sizes each job's ``(R, C)`` grid and backfills small jobs around
+heavy ones instead of serializing the whole cluster behind them.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.service import ReconstructionService, synthetic_trace
+
+CLUSTER_GPUS = 16
+N_JOBS = 24
+SEED = 0
+
+_REPORT_KEYS = (
+    "throughput_jobs_per_s",
+    "aggregate_gups",
+    "latency_p50_s",
+    "latency_p99_s",
+    "slo_attainment",
+    "queue_depth_max",
+    "cache_hit_rate",
+    "gpu_utilization",
+)
+
+
+def _replay(policy: str):
+    trace = synthetic_trace(N_JOBS, cluster_gpus=CLUSTER_GPUS, seed=SEED)
+    service = ReconstructionService(CLUSTER_GPUS, policy=policy)
+    return service.replay(trace).summary
+
+
+def _both_policies():
+    return {policy: _replay(policy) for policy in ("slo", "fifo")}
+
+
+def test_service_throughput_slo_vs_fifo(benchmark):
+    summaries = benchmark(_both_policies)
+    slo, fifo = summaries["slo"], summaries["fifo"]
+
+    rows = [
+        {"metric": key, "slo": slo[key], "fifo": fifo[key]}
+        for key in _REPORT_KEYS
+    ]
+    print()
+    print(format_table(
+        rows, ["metric", "slo", "fifo"],
+        title=(f"Service scheduling on {CLUSTER_GPUS} GPUs — "
+               f"{N_JOBS}-job mixed Table-4 trace (seed {SEED})"),
+        float_format="{:.3f}",
+    ))
+
+    # Every job of the trace is servable on this cluster under both policies.
+    assert slo["jobs_completed"] == N_JOBS
+    assert fifo["jobs_completed"] == N_JOBS
+
+    # The acceptance headline: SLO-aware packing beats naive FIFO's
+    # head-of-line blocking on tail latency and on SLO attainment.
+    assert slo["latency_p99_s"] < fifo["latency_p99_s"]
+    assert slo["latency_p50_s"] < fifo["latency_p50_s"]
+    assert slo["slo_attainment"] > fifo["slo_attainment"]
+
+    # Packing also wins aggregate throughput (no idle GPUs behind the head).
+    assert slo["throughput_jobs_per_s"] >= fifo["throughput_jobs_per_s"]
+
+    # Repeat datasets in the trace must actually hit the filtered cache.
+    assert slo["cache_hit_rate"] > 0

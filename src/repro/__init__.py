@@ -27,10 +27,23 @@ Sub-packages
 ``repro.bench``
     Workload definitions and reporting helpers shared by the benchmark
     harness that regenerates every table and figure of the paper.
+``repro.service``
+    Reconstruction-as-a-service: multi-tenant job queue with admission
+    control, SLO-aware GPU cluster scheduling over the performance model,
+    and a content-keyed cache of filtered projections.
 """
 
-from . import core
+from . import bench, core, gpusim, mpi, pfs, pipeline, service
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["core", "__version__"]
+__all__ = [
+    "bench",
+    "core",
+    "gpusim",
+    "mpi",
+    "pfs",
+    "pipeline",
+    "service",
+    "__version__",
+]

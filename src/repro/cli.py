@@ -1,6 +1,6 @@
 """Command-line interface for the iFDK reproduction.
 
-Three subcommands cover the workflows a downstream user needs:
+Six subcommands cover the workflows a downstream user needs:
 
 ``reconstruct``
     Synthesize Shepp-Logan projections for a given problem size and run the
@@ -12,8 +12,17 @@ Three subcommands cover the workflows a downstream user needs:
 ``table4``
     Regenerate the Table 4 kernel-throughput comparison from the V100 cost
     model.
+``serve``
+    Replay a multi-tenant arrival trace through the reconstruction service
+    (``repro.service``): SLO-aware GPU packing, admission control and the
+    filtered-projection cache, reporting throughput and tail latency.
+``submit``
+    Run a single job through the service and print its report.
+``trace``
+    Generate a synthetic multi-tenant workload trace for ``serve``.
 
-Invoke as ``python -m repro.cli <subcommand> ...``.
+Invoke as ``python -m repro.cli <subcommand> ...`` (or ``repro ...`` once
+the package is installed).
 """
 
 from __future__ import annotations
@@ -37,6 +46,13 @@ from .core import (
 from .core.types import problem_from_string
 from .gpusim import KERNEL_VARIANTS, BackprojectionCostModel, TESLA_V100
 from .pipeline import IFDKConfig, IFDKFramework, IFDKPerformanceModel, choose_grid
+from .service import (
+    AdmissionPolicy,
+    ArrivalTrace,
+    ReconstructionJob,
+    ReconstructionService,
+    synthetic_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +86,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override R (defaults to the Section 4.1.5 rule)")
 
     sub.add_parser("table4", help="regenerate Table 4 from the V100 cost model")
+
+    serve = sub.add_parser(
+        "serve", help="replay a multi-tenant trace through the reconstruction service"
+    )
+    serve.add_argument("--trace", type=Path, required=True,
+                       help="workload trace JSON (see 'repro trace')")
+    serve.add_argument("--gpus", type=int, default=None,
+                       help="cluster size (default: the trace's cluster_gpus)")
+    serve.add_argument("--policy", choices=("slo", "fifo"), default="slo",
+                       help="scheduling policy (default: %(default)s)")
+    serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument("--report", type=Path, default=None,
+                       help="write the full JSON service report to this file")
+
+    submit = sub.add_parser("submit", help="run one job through the service")
+    submit.add_argument("--problem", default="2048x2048x1024->1024x1024x1024")
+    submit.add_argument("--gpus", type=int, default=16, help="cluster size")
+    submit.add_argument("--slo", type=float, default=None,
+                        help="latency SLO in seconds (default: best effort)")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="priority class, 0 = most urgent")
+    submit.add_argument("--dataset", default="",
+                        help="dataset content key (enables cache reuse)")
+
+    trace = sub.add_parser("trace", help="generate a synthetic workload trace")
+    trace.add_argument("--jobs", type=int, default=24)
+    trace.add_argument("--gpus", type=int, default=16)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--heavy-fraction", type=float, default=0.25,
+                       help="fraction of heavy 2K reconstructions")
+    trace.add_argument("--output", "-o", type=Path, required=True,
+                       help="write the trace JSON to this file")
     return parser
 
 
@@ -169,18 +217,111 @@ def _cmd_table4(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if not args.trace.exists():
+        print(f"error: trace file {args.trace} does not exist", file=sys.stderr)
+        return 2
+    trace = ArrivalTrace.load(args.trace)
+    gpus = args.gpus or trace.cluster_gpus
+    service = ReconstructionService(
+        gpus,
+        policy=args.policy,
+        admission=AdmissionPolicy(max_depth=args.max_queue_depth),
+    )
+    report = service.replay(trace)
+    print(_format_service_report(report))
+    if args.report is not None:
+        args.report.write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    problem = problem_from_string(args.problem)
+    service = ReconstructionService(args.gpus, policy="slo")
+    job = ReconstructionJob(
+        problem=problem,
+        tenant="cli",
+        dataset_id=args.dataset,
+        priority=args.priority,
+        slo_seconds=args.slo,
+    )
+    accepted = service.submit(job)
+    if not accepted:
+        print(f"rejected: {job.rejection_reason}", file=sys.stderr)
+        return 1
+    service.run_until_idle()
+    print(json.dumps(job.as_record(), indent=2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = synthetic_trace(
+        args.jobs,
+        cluster_gpus=args.gpus,
+        seed=args.seed,
+        heavy_fraction=args.heavy_fraction,
+    )
+    trace.save(args.output)
+    print(
+        f"{len(trace)} jobs from {len(trace.tenants)} tenants written to {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _format_service_report(report) -> str:
+    job_columns = [
+        "job_id", "tenant", "problem", "state", "arrival_s", "start_s",
+        "finish_s", "latency_s", "slo_s", "gpus", "grid", "cache_hit",
+    ]
+    rows = [
+        {col: ("" if job.get(col) is None else job[col]) for col in job_columns}
+        for job in report.jobs
+    ]
+    lines = [
+        format_table(
+            rows, job_columns,
+            title=(f"{report.policy} policy on {report.cluster_gpus} GPUs"
+                   + (f" — {report.description}" if report.description else "")),
+            float_format="{:.2f}",
+        ),
+        "",
+    ]
+    summary = report.summary
+    for key in sorted(summary):
+        lines.append(f"{key:>24s} = {summary[key]:.3f}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "reconstruct": _cmd_reconstruct,
+    "predict": _cmd_predict,
+    "table4": _cmd_table4,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "trace": _cmd_trace,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Invalid user input (malformed problem specs, infeasible geometry,
+    unreadable traces) exits with code 2; argparse errors also exit 2 via
+    ``SystemExit``.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "reconstruct":
-        return _cmd_reconstruct(args)
-    if args.command == "predict":
-        return _cmd_predict(args)
-    if args.command == "table4":
-        return _cmd_table4(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse rejects first
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return command(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,48 @@
+"""Reconstruction-as-a-service: multi-tenant scheduling over the iFDK model.
+
+The serving layer turns the one-shot Section 4 pipeline into a multi-tenant
+service: jobs arrive with priorities and latency SLOs, an admission-
+controlled queue feeds an SLO-aware scheduler that packs concurrent jobs
+onto a simulated GPU cluster using Eq. 8-19 cost estimates, and a
+content-keyed LRU cache of filtered projections lets repeat requests skip
+the filtering stage.  ``repro serve`` and ``repro submit`` expose it on the
+command line.
+"""
+
+from .cache import CacheKey, CacheStatistics, FilteredProjectionCache, fingerprint_stack
+from .job import JobState, ReconstructionJob, job_sort_key
+from .metrics import QueueSample, ServiceMetrics, percentile
+from .queue import AdmissionPolicy, JobQueue
+from .scheduler import AllocationPlan, ClusterScheduler, GPUCluster, Placement
+from .service import ReconstructionService, ServiceReport
+from .trace import (
+    MIXED_TABLE4_PROBLEMS,
+    ArrivalTrace,
+    TraceEntry,
+    synthetic_trace,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "AllocationPlan",
+    "ArrivalTrace",
+    "CacheKey",
+    "CacheStatistics",
+    "ClusterScheduler",
+    "FilteredProjectionCache",
+    "GPUCluster",
+    "JobQueue",
+    "JobState",
+    "MIXED_TABLE4_PROBLEMS",
+    "Placement",
+    "QueueSample",
+    "ReconstructionJob",
+    "ReconstructionService",
+    "ServiceMetrics",
+    "ServiceReport",
+    "TraceEntry",
+    "fingerprint_stack",
+    "job_sort_key",
+    "percentile",
+    "synthetic_trace",
+]

@@ -1,0 +1,211 @@
+"""Content-keyed LRU cache of filtered projections on the PFS.
+
+Filtering (weighting + ramp filtering, Algorithm 1) is a pure function of
+the raw projection data and the filter window.  When several tenants request
+reconstructions of the *same* acquisition — different output volumes,
+different SLOs — every job after the first can skip the filtering stage
+entirely and read the already-filtered projections back from the PFS.  In
+the Eq. 17 overlap this removes the ``T_flt`` term from ``T_compute``.
+
+The cache is **content-keyed**: the key combines a fingerprint of the raw
+projection data (or the trace-supplied ``dataset_id``, which stands in for a
+content hash in the simulated service) with the filter window and the
+detector/stack shape, so a re-uploaded identical dataset hits and a modified
+one misses.  Eviction is LRU by byte capacity, sized against the PFS scratch
+space reserved for the cache.
+
+When constructed over a :class:`~repro.pfs.storage.SimulatedPFS`, entries
+write through to PFS objects under ``filtered-cache/`` so the functional
+(NumPy) path can round-trip real filtered stacks; without a PFS the cache
+tracks byte sizes only, which is all the scheduling simulation needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.types import ProjectionStack
+from ..pfs.storage import SimulatedPFS
+
+__all__ = ["CacheKey", "CacheStatistics", "FilteredProjectionCache", "fingerprint_stack"]
+
+
+def fingerprint_stack(stack: ProjectionStack) -> str:
+    """Content hash of a raw projection stack (shape + data + angles)."""
+    digest = hashlib.sha256()
+    digest.update(repr(stack.data.shape).encode("ascii"))
+    digest.update(np.ascontiguousarray(stack.data).tobytes())
+    digest.update(np.ascontiguousarray(stack.angles).tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one filtered projection dataset."""
+
+    dataset_id: str
+    ramp_filter: str
+    nu: int
+    nv: int
+    np_: int
+
+    @classmethod
+    def for_job(cls, job) -> "CacheKey":
+        """Key of the filtered projections a job consumes."""
+        problem = job.problem
+        return cls(
+            dataset_id=job.dataset_id,
+            ramp_filter=job.ramp_filter,
+            nu=problem.nu,
+            nv=problem.nv,
+            np_=problem.np_,
+        )
+
+    @property
+    def object_name(self) -> str:
+        """PFS object name the filtered stack is stored under."""
+        tag = hashlib.sha256(
+            f"{self.dataset_id}|{self.ramp_filter}|{self.nu}x{self.nv}x{self.np_}"
+            .encode("ascii")
+        ).hexdigest()[:16]
+        return f"filtered-cache/{tag}"
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class _Entry:
+    nbytes: int
+    stored_on_pfs: bool = False
+
+
+class FilteredProjectionCache:
+    """LRU cache of filtered projection stacks, capacity-bounded in bytes."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 256 * 1024**3,
+        *,
+        pfs: Optional[SimulatedPFS] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.pfs = pfs
+        self.stats = CacheStatistics()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def used_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def contains(self, key: CacheKey) -> bool:
+        """Peek without touching LRU order or hit/miss statistics.
+
+        The scheduler calls this while *planning* (it may evaluate the same
+        job many times before placing it); only the definitive
+        :meth:`lookup` at placement time is counted.
+        """
+        return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: CacheKey) -> bool:
+        """Counted lookup: touches LRU order and records a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return True
+
+    def insert(
+        self,
+        key: CacheKey,
+        *,
+        nbytes: Optional[int] = None,
+        filtered: Optional[ProjectionStack] = None,
+    ) -> None:
+        """Add (or refresh) a filtered dataset.
+
+        Either the byte size (scheduling simulation) or the actual filtered
+        stack (functional path; written through to the PFS when one is
+        attached) must be supplied.
+        """
+        if filtered is not None:
+            nbytes = filtered.nbytes
+        if nbytes is None:
+            raise ValueError("insert needs either nbytes or a filtered stack")
+        stored = False
+        if self.pfs is not None and filtered is not None:
+            self.pfs.write_array(key.object_name, filtered.data)
+            self.pfs.write_array(key.object_name + "/angles", filtered.angles)
+            stored = True
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            entry = self._entries[key]
+            entry.nbytes = nbytes
+            entry.stored_on_pfs = entry.stored_on_pfs or stored
+        else:
+            self._entries[key] = _Entry(nbytes=nbytes, stored_on_pfs=stored)
+            self.stats.insertions += 1
+        self._evict_over_capacity()
+
+    def get_filtered(self, key: CacheKey, *, count: bool = True) -> Optional[ProjectionStack]:
+        """Read a filtered stack back from the PFS (functional path).
+
+        An entry known only by its byte size (scheduling path) cannot
+        satisfy a functional read, so it counts as a miss here.
+        """
+        entry = self._entries.get(key)
+        usable = entry is not None and entry.stored_on_pfs and self.pfs is not None
+        if count:
+            if usable:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        if not usable:
+            return None
+        self._entries.move_to_end(key)
+        data = self.pfs.read_array(key.object_name)
+        angles = self.pfs.read_array(key.object_name + "/angles")
+        return ProjectionStack(data=data, angles=angles, filtered=True)
+
+    # ------------------------------------------------------------------ #
+    def _evict_over_capacity(self) -> None:
+        while self.used_bytes > self.capacity_bytes and len(self._entries) > 1:
+            key, entry = self._entries.popitem(last=False)
+            if entry.stored_on_pfs and self.pfs is not None:
+                self.pfs.delete(key.object_name)
+                self.pfs.delete(key.object_name + "/angles")
+            self.stats.evictions += 1

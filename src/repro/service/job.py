@@ -1,0 +1,182 @@
+"""Reconstruction jobs and their lifecycle.
+
+The serving layer treats one end-to-end reconstruction (the whole Section 4
+pipeline: load → filter → AllGather → back-project → reduce → store) as a
+*job*.  A job carries the reconstruction problem, the tenant that submitted
+it, a priority class, a latency SLO and — once the scheduler has placed it —
+the ``(R, C)`` rank-grid decomposition and GPU allocation it ran with.
+
+States follow the usual service lifecycle::
+
+    PENDING --offer--> QUEUED --place--> RUNNING --finish--> COMPLETED
+        \\                  \\
+         +--admission-------+----------> REJECTED
+
+Priorities are small integers with **0 the most urgent** (like an inverted
+Unix nice value); ties break on the earlier SLO deadline, then on submission
+order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.types import ReconstructionProblem, problem_from_string
+
+__all__ = ["JobState", "ReconstructionJob", "job_sort_key"]
+
+_job_counter = itertools.count()
+
+
+class JobState(enum.Enum):
+    """Lifecycle state of a :class:`ReconstructionJob`."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ReconstructionJob:
+    """One tenant request for a full reconstruction.
+
+    Parameters
+    ----------
+    problem:
+        The reconstruction problem to solve.
+    tenant:
+        Identifier of the submitting tenant (used for reporting only).
+    dataset_id:
+        Content key of the input projection dataset.  Two jobs with the same
+        ``dataset_id`` and ``ramp_filter`` read the *same* acquisitions, so
+        the second can reuse the first's filtered projections from the
+        :class:`~repro.service.cache.FilteredProjectionCache`.
+    priority:
+        Priority class, 0 = most urgent.
+    slo_seconds:
+        Latency target measured from :attr:`arrival_seconds`; ``None`` means
+        best-effort.
+    arrival_seconds:
+        Submission time on the simulated service clock.
+    """
+
+    problem: ReconstructionProblem
+    tenant: str = "default"
+    dataset_id: str = ""
+    priority: int = 1
+    slo_seconds: Optional[float] = None
+    arrival_seconds: float = 0.0
+    ramp_filter: str = "ram-lak"
+    job_id: str = ""
+
+    # Filled in by the service / scheduler.
+    state: JobState = JobState.PENDING
+    estimated_seconds: Optional[float] = None
+    start_seconds: Optional[float] = None
+    finish_seconds: Optional[float] = None
+    gpus: Optional[int] = None
+    rows: Optional[int] = None
+    columns: Optional[int] = None
+    cache_hit: bool = False
+    rejection_reason: Optional[str] = None
+    sequence: int = field(default_factory=lambda: next(_job_counter))
+
+    def __post_init__(self) -> None:
+        if isinstance(self.problem, str):
+            self.problem = problem_from_string(self.problem)
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative (0 = most urgent)")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive when given")
+        if self.arrival_seconds < 0:
+            raise ValueError("arrival_seconds must be non-negative")
+        if not self.job_id:
+            self.job_id = f"job-{self.sequence:04d}"
+        if not self.dataset_id:
+            self.dataset_id = f"dataset-{self.job_id}"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline_seconds(self) -> float:
+        """Absolute completion deadline (``inf`` for best-effort jobs)."""
+        if self.slo_seconds is None:
+            return float("inf")
+        return self.arrival_seconds + self.slo_seconds
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """Arrival-to-completion latency; ``None`` until the job finishes."""
+        if self.finish_seconds is None:
+            return None
+        return self.finish_seconds - self.start_to_finish_origin
+
+    @property
+    def start_to_finish_origin(self) -> float:
+        return self.arrival_seconds
+
+    @property
+    def met_slo(self) -> Optional[bool]:
+        """Whether the job finished inside its SLO (``None`` until done)."""
+        if self.finish_seconds is None:
+            return None
+        return self.finish_seconds <= self.deadline_seconds
+
+    @property
+    def runtime_seconds(self) -> Optional[float]:
+        if self.start_seconds is None or self.finish_seconds is None:
+            return None
+        return self.finish_seconds - self.start_seconds
+
+    # ------------------------------------------------------------------ #
+    def mark_queued(self) -> None:
+        self.state = JobState.QUEUED
+
+    def mark_running(self, now: float, *, gpus: int, rows: int, columns: int,
+                     cache_hit: bool) -> None:
+        self.state = JobState.RUNNING
+        self.start_seconds = now
+        self.gpus = gpus
+        self.rows = rows
+        self.columns = columns
+        self.cache_hit = cache_hit
+
+    def mark_completed(self, now: float) -> None:
+        self.state = JobState.COMPLETED
+        self.finish_seconds = now
+
+    def mark_rejected(self, reason: str) -> None:
+        self.state = JobState.REJECTED
+        self.rejection_reason = reason
+
+    # ------------------------------------------------------------------ #
+    def as_record(self) -> dict:
+        """Flat dictionary for reports and tables."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "dataset": self.dataset_id,
+            "problem": str(self.problem),
+            "priority": self.priority,
+            "state": self.state.value,
+            "arrival_s": self.arrival_seconds,
+            "start_s": self.start_seconds,
+            "finish_s": self.finish_seconds,
+            "latency_s": self.latency_seconds,
+            "slo_s": self.slo_seconds,
+            "met_slo": self.met_slo,
+            "gpus": self.gpus,
+            "grid": (f"{self.rows}x{self.columns}"
+                     if self.rows and self.columns else None),
+            "cache_hit": self.cache_hit,
+            "rejection_reason": self.rejection_reason,
+        }
+
+
+def job_sort_key(job: ReconstructionJob) -> Tuple[int, float, int]:
+    """Scheduling order: priority class, then earliest deadline, then FIFO."""
+    return (job.priority, job.deadline_seconds, job.sequence)

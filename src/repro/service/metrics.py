@@ -1,0 +1,121 @@
+"""Service-level metrics: throughput, tail latency, queueing, cache efficacy.
+
+The collector accumulates one record per finished (or rejected) job plus a
+time series of queue-depth samples, and reduces them to the numbers a
+service operator watches:
+
+* throughput — completed jobs/s and aggregate GUPS over the makespan
+  (the Section 2.3(II) metric, summed across tenants);
+* latency — p50/p99/mean/max of arrival-to-completion time, and SLO
+  attainment;
+* queueing — mean and peak queue depth;
+* cache — hit rate of the filtered-projection cache;
+* utilization — busy GPU-seconds over cluster capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .cache import FilteredProjectionCache
+from .job import JobState, ReconstructionJob
+
+__all__ = ["QueueSample", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile; ``nan`` for an empty series."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """Queue depth observed at one scheduling event."""
+
+    time_seconds: float
+    depth: int
+
+
+@dataclass
+class ServiceMetrics:
+    """Accumulates per-job outcomes and reduces them to service KPIs."""
+
+    completed: List[ReconstructionJob] = field(default_factory=list)
+    rejected: List[ReconstructionJob] = field(default_factory=list)
+    queue_samples: List[QueueSample] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def record_completion(self, job: ReconstructionJob) -> None:
+        if job.state is not JobState.COMPLETED:
+            raise ValueError(f"job {job.job_id} is {job.state.value}, not completed")
+        self.completed.append(job)
+
+    def record_rejection(self, job: ReconstructionJob) -> None:
+        if job.state is not JobState.REJECTED:
+            raise ValueError(f"job {job.job_id} is {job.state.value}, not rejected")
+        self.rejected.append(job)
+
+    def sample_queue_depth(self, now: float, depth: int) -> None:
+        self.queue_samples.append(QueueSample(time_seconds=now, depth=depth))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def latencies(self) -> List[float]:
+        return [j.latency_seconds for j in self.completed if j.latency_seconds is not None]
+
+    @property
+    def makespan_seconds(self) -> float:
+        """First arrival to last completion across the replayed workload."""
+        if not self.completed:
+            return 0.0
+        start = min(j.arrival_seconds for j in self.completed)
+        finish = max(j.finish_seconds for j in self.completed)
+        return finish - start
+
+    def summary(
+        self,
+        *,
+        cache: Optional[FilteredProjectionCache] = None,
+        cluster_gpus: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """Reduce everything recorded so far to a flat KPI dictionary."""
+        latencies = self.latencies
+        makespan = self.makespan_seconds
+        n_done = len(self.completed)
+        total_updates = sum(j.problem.updates for j in self.completed)
+        slo_jobs = [j for j in self.completed if j.slo_seconds is not None]
+        busy_gpu_seconds = sum(
+            (j.runtime_seconds or 0.0) * (j.gpus or 0) for j in self.completed
+        )
+        depths = [s.depth for s in self.queue_samples]
+        out: Dict[str, float] = {
+            "jobs_completed": float(n_done),
+            "jobs_rejected": float(len(self.rejected)),
+            "makespan_s": makespan,
+            "throughput_jobs_per_s": (n_done / makespan) if makespan > 0 else float("nan"),
+            "aggregate_gups": (
+                total_updates / (makespan * 2.0**30) if makespan > 0 else float("nan")
+            ),
+            "latency_p50_s": percentile(latencies, 50.0),
+            "latency_p99_s": percentile(latencies, 99.0),
+            "latency_mean_s": float(np.mean(latencies)) if latencies else float("nan"),
+            "latency_max_s": max(latencies) if latencies else float("nan"),
+            "slo_attainment": (
+                sum(1 for j in slo_jobs if j.met_slo) / len(slo_jobs)
+                if slo_jobs else float("nan")
+            ),
+            "queue_depth_mean": float(np.mean(depths)) if depths else 0.0,
+            "queue_depth_max": float(max(depths)) if depths else 0.0,
+        }
+        if cache is not None:
+            out["cache_hit_rate"] = cache.stats.hit_rate
+            out["cache_hits"] = float(cache.stats.hits)
+            out["cache_evictions"] = float(cache.stats.evictions)
+        if cluster_gpus and makespan > 0:
+            out["gpu_utilization"] = busy_gpu_seconds / (cluster_gpus * makespan)
+        return out

@@ -1,0 +1,112 @@
+"""The service job queue with admission control.
+
+Admission control keeps the service stable under overload instead of letting
+the queue (and every tenant's latency) grow without bound:
+
+* **depth cap** — at most ``max_depth`` jobs may wait;
+* **backlog cap** — the sum of the queued jobs' estimated service times may
+  not exceed ``max_backlog_seconds`` (the service estimates each job's
+  full-cluster runtime at submission via the performance model).
+
+Jobs that fail admission are marked :attr:`~repro.service.job.JobState.REJECTED`
+with a reason, so tenants can tell "try later" from "never feasible" (the
+latter is detected by the service before the queue is consulted).
+
+The queue itself is a small ordered collection — scheduling order is
+``(priority, deadline, submission order)`` via
+:func:`~repro.service.job.job_sort_key` — with selective removal so the
+scheduler can backfill jobs from the middle of the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .job import JobState, ReconstructionJob, job_sort_key
+
+__all__ = ["AdmissionPolicy", "JobQueue"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits enforced when a job is offered to the queue."""
+
+    max_depth: int = 256
+    max_backlog_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if self.max_backlog_seconds is not None and self.max_backlog_seconds <= 0:
+            raise ValueError("max_backlog_seconds must be positive when given")
+
+
+class JobQueue:
+    """Priority queue of waiting jobs with admission control."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy or AdmissionPolicy()
+        self._jobs: List[ReconstructionJob] = []
+        self.offered = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[ReconstructionJob]:
+        return iter(self.ordered())
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Sum of the queued jobs' estimated service times."""
+        return sum(job.estimated_seconds or 0.0 for job in self._jobs)
+
+    def ordered(self) -> List[ReconstructionJob]:
+        """Snapshot of the queue in scheduling order."""
+        return sorted(self._jobs, key=job_sort_key)
+
+    def peek(self) -> Optional[ReconstructionJob]:
+        """The job the scheduler should consider first (or ``None``)."""
+        if not self._jobs:
+            return None
+        return min(self._jobs, key=job_sort_key)
+
+    # ------------------------------------------------------------------ #
+    def offer(self, job: ReconstructionJob) -> bool:
+        """Apply admission control; enqueue on success.
+
+        Returns ``True`` and marks the job ``QUEUED`` when admitted;
+        otherwise marks it ``REJECTED`` with the reason and returns
+        ``False``.
+        """
+        self.offered += 1
+        if len(self._jobs) >= self.policy.max_depth:
+            job.mark_rejected(
+                f"queue full: depth {len(self._jobs)} at cap {self.policy.max_depth}"
+            )
+            self.rejected += 1
+            return False
+        cap = self.policy.max_backlog_seconds
+        if cap is not None and job.estimated_seconds is not None:
+            backlog = self.backlog_seconds + job.estimated_seconds
+            if backlog > cap:
+                job.mark_rejected(
+                    f"backlog {backlog:.1f}s exceeds admission cap {cap:.1f}s"
+                )
+                self.rejected += 1
+                return False
+        job.mark_queued()
+        self._jobs.append(job)
+        return True
+
+    def remove(self, job: ReconstructionJob) -> None:
+        """Remove a specific job (used when the scheduler places it)."""
+        self._jobs.remove(job)
+
+    def drain(self) -> List[ReconstructionJob]:
+        """Remove and return every queued job in scheduling order."""
+        jobs = self.ordered()
+        self._jobs.clear()
+        return jobs

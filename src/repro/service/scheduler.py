@@ -1,0 +1,379 @@
+"""SLO-aware packing of reconstruction jobs onto a simulated GPU cluster.
+
+The scheduler treats the cluster as a flat pool of identical GPUs (one MPI
+rank per GPU, as in the paper) and, for every waiting job, chooses **how
+many GPUs to spend and how to shape them** into the ``(R, C)`` rank grid of
+Section 4.1:
+
+* candidate allocations are power-of-two GPU counts (the grids the paper
+  evaluates);
+* for each count, ``choose_grid`` picks the smallest ``R`` satisfying the
+  Section 4.1.5 device-memory constraint;
+* the :class:`~repro.pipeline.perfmodel.IFDKPerformanceModel` predicts the
+  job's runtime on that grid — with the filtering term dropped when the
+  job's dataset is already in the
+  :class:`~repro.service.cache.FilteredProjectionCache`;
+* the **slo** policy then picks the *cheapest* allocation whose predicted
+  completion meets the job's deadline (bin-packing GPUs across concurrent
+  jobs).  When nothing that fits the free GPUs can meet the SLO, it defers
+  the job behind a reservation if a larger grid started at a known release
+  time still would, and only otherwise falls back to the fastest feasible
+  allocation.  Jobs are considered in ``(priority, deadline)`` order with
+  EASY-style backfill: when the head job does not fit, a GPU reservation is
+  computed for it from the running jobs' finish times, and later jobs may
+  only jump ahead if they finish before that reservation or fit into GPUs
+  the head will not need.
+* the **fifo** baseline mimics a naive one-job-at-a-time deployment: strict
+  arrival order, each job gets the whole cluster, later jobs wait — the
+  configuration the service layer exists to beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.types import ReconstructionProblem
+from ..gpusim.device import DeviceSpec, TESLA_V100
+from ..pipeline.config import choose_grid
+from ..pipeline.perfmodel import IFDKPerformanceModel
+from .cache import CacheKey, FilteredProjectionCache
+from .job import ReconstructionJob
+from .queue import JobQueue
+
+__all__ = ["GPUCluster", "Placement", "AllocationPlan", "ClusterScheduler"]
+
+
+class GPUCluster:
+    """A pool of identical GPUs with simple counted allocation."""
+
+    def __init__(self, total_gpus: int, *, device: DeviceSpec = TESLA_V100):
+        if total_gpus <= 0:
+            raise ValueError("total_gpus must be positive")
+        self.total_gpus = total_gpus
+        self.device = device
+        self.in_use = 0
+
+    @property
+    def free_gpus(self) -> int:
+        return self.total_gpus - self.in_use
+
+    def allocate(self, gpus: int) -> None:
+        if gpus <= 0:
+            raise ValueError("gpus must be positive")
+        if gpus > self.free_gpus:
+            raise RuntimeError(
+                f"cannot allocate {gpus} GPUs: only {self.free_gpus} free"
+            )
+        self.in_use += gpus
+
+    def release(self, gpus: int) -> None:
+        if gpus <= 0 or gpus > self.in_use:
+            raise RuntimeError(f"cannot release {gpus} GPUs ({self.in_use} in use)")
+        self.in_use -= gpus
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """One candidate execution of a job: GPU count, grid and predicted time."""
+
+    gpus: int
+    rows: int
+    columns: int
+    runtime_seconds: float
+    cache_hit: bool
+
+    def finish_at(self, start: float) -> float:
+        return start + self.runtime_seconds
+
+
+@dataclass
+class Placement:
+    """A job actually running on the cluster."""
+
+    job: ReconstructionJob
+    plan: AllocationPlan
+    start_seconds: float
+
+    @property
+    def finish_seconds(self) -> float:
+        return self.plan.finish_at(self.start_seconds)
+
+    @property
+    def gpus(self) -> int:
+        return self.plan.gpus
+
+
+class ClusterScheduler:
+    """Chooses when each queued job runs and on how many GPUs."""
+
+    POLICIES = ("slo", "fifo")
+
+    def __init__(
+        self,
+        cluster: GPUCluster,
+        *,
+        model: Optional[IFDKPerformanceModel] = None,
+        policy: str = "slo",
+        cache: Optional[FilteredProjectionCache] = None,
+        max_gpus_per_job: Optional[int] = None,
+    ):
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {self.POLICIES}")
+        self.cluster = cluster
+        self.model = model or IFDKPerformanceModel()
+        self.policy = policy
+        self.cache = cache
+        self.max_gpus_per_job = max_gpus_per_job or cluster.total_gpus
+        # Traces reuse a handful of problem shapes, and every scheduling
+        # event re-evaluates them; memoize the Eq. 8-19 evaluations.
+        self._runtime_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Cost prediction
+    # ------------------------------------------------------------------ #
+    def runtime_seconds(
+        self,
+        problem: ReconstructionProblem,
+        rows: int,
+        columns: int,
+        *,
+        cached: bool = False,
+    ) -> float:
+        """Predicted end-to-end runtime of one job on an ``R x C`` grid.
+
+        A cache hit removes the filtering stage from the Eq. 17 overlap:
+        the ranks stream already-filtered projections from the PFS, so
+        ``T_compute = max(T_load, T_AllGather, T_bp)``.
+        """
+        key = (problem, rows, columns, cached)
+        hit = self._runtime_cache.get(key)
+        if hit is not None:
+            return hit
+        breakdown = self.model.breakdown(problem, rows, columns)
+        if cached:
+            t_compute = max(breakdown.t_load, breakdown.t_allgather, breakdown.t_bp)
+            seconds = t_compute + breakdown.t_post
+        else:
+            seconds = breakdown.t_runtime
+        self._runtime_cache[key] = seconds
+        return seconds
+
+    def _is_cached(self, job: ReconstructionJob) -> bool:
+        if self.cache is None:
+            return False
+        return self.cache.contains(CacheKey.for_job(job))
+
+    def candidate_plans(self, job: ReconstructionJob, gpu_budget: int) -> List[AllocationPlan]:
+        """All feasible power-of-two allocations within ``gpu_budget`` GPUs."""
+        cached = self._is_cached(job)
+        budget = min(gpu_budget, self.max_gpus_per_job)
+        plans: List[AllocationPlan] = []
+        gpus = 1
+        while gpus <= budget:
+            try:
+                rows, columns = choose_grid(
+                    job.problem, gpus, device=self.cluster.device
+                )
+            except ValueError:
+                rows = columns = 0  # infeasible at this count (memory)
+            if rows:
+                plans.append(
+                    AllocationPlan(
+                        gpus=gpus,
+                        rows=rows,
+                        columns=columns,
+                        runtime_seconds=self.runtime_seconds(
+                            job.problem, rows, columns, cached=cached
+                        ),
+                        cache_hit=cached,
+                    )
+                )
+            gpus *= 2
+        return plans
+
+    def best_plan(
+        self,
+        job: ReconstructionJob,
+        gpu_budget: int,
+        now: float,
+        *,
+        require_slo: bool = False,
+    ) -> Optional[AllocationPlan]:
+        """The allocation the **slo** policy would pick within ``gpu_budget``.
+
+        Cheapest (fewest GPUs) plan meeting the deadline; otherwise — unless
+        ``require_slo`` — the plan with the earliest finish (ties broken
+        toward fewer GPUs, so a hopeless SLO does not monopolize the
+        cluster).
+        """
+        plans = self.candidate_plans(job, gpu_budget)
+        if not plans:
+            return None
+        meeting = [p for p in plans if p.finish_at(now) <= job.deadline_seconds]
+        if meeting:
+            return min(meeting, key=lambda p: p.gpus)
+        if require_slo:
+            return None
+        return min(plans, key=lambda p: (p.runtime_seconds, p.gpus))
+
+    def largest_plan(self, job: ReconstructionJob, gpu_budget: int) -> Optional[AllocationPlan]:
+        """The biggest feasible allocation (what naive FIFO always takes)."""
+        plans = self.candidate_plans(job, gpu_budget)
+        if not plans:
+            return None
+        return max(plans, key=lambda p: p.gpus)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling cycle
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        queue: JobQueue,
+        now: float,
+        running: Sequence[Placement],
+    ) -> Tuple[List[Placement], List[ReconstructionJob]]:
+        """Place as many queued jobs as the policy allows at time ``now``.
+
+        Returns ``(placements, rejected)``; placed jobs are removed from the
+        queue, marked running and have their GPUs allocated.  Jobs that can
+        never run on this cluster (memory-infeasible even with every GPU)
+        are removed and returned as rejected.
+        """
+        if self.policy == "fifo":
+            return self._schedule_fifo(queue, now)
+        return self._schedule_slo(queue, now, running)
+
+    def _place(self, queue: JobQueue, job: ReconstructionJob,
+               plan: AllocationPlan, now: float) -> Placement:
+        queue.remove(job)
+        self.cluster.allocate(plan.gpus)
+        cache_hit = plan.cache_hit
+        if self.cache is not None:
+            # The counted lookup: statistics reflect jobs that actually ran.
+            cache_hit = self.cache.lookup(CacheKey.for_job(job))
+        job.mark_running(
+            now, gpus=plan.gpus, rows=plan.rows, columns=plan.columns,
+            cache_hit=cache_hit,
+        )
+        return Placement(job=job, plan=plan, start_seconds=now)
+
+    def _schedule_fifo(
+        self, queue: JobQueue, now: float
+    ) -> Tuple[List[Placement], List[ReconstructionJob]]:
+        """Naive baseline: whole cluster per job, strict submission order."""
+        placements: List[Placement] = []
+        rejected: List[ReconstructionJob] = []
+        while len(queue) > 0 and self.cluster.free_gpus == self.cluster.total_gpus:
+            head = min(queue.ordered(), key=lambda j: (j.arrival_seconds, j.sequence))
+            plan = self.largest_plan(head, self.cluster.total_gpus)
+            if plan is None:
+                queue.remove(head)
+                head.mark_rejected("infeasible: does not fit the cluster")
+                rejected.append(head)
+                continue
+            placements.append(self._place(queue, head, plan, now))
+        return placements, rejected
+
+    def _schedule_slo(
+        self,
+        queue: JobQueue,
+        now: float,
+        running: Sequence[Placement],
+    ) -> Tuple[List[Placement], List[ReconstructionJob]]:
+        placements: List[Placement] = []
+        rejected: List[ReconstructionJob] = []
+        blocked_head: Optional[ReconstructionJob] = None
+        reservation_time = float("inf")
+        spare_at_reservation = 0
+
+        for job in queue.ordered():
+            free = self.cluster.free_gpus
+            if free == 0:
+                break
+            if blocked_head is None:
+                plan = self.best_plan(job, free, now, require_slo=True)
+                if plan is not None:
+                    placements.append(self._place(queue, job, plan, now))
+                    continue
+                # Nothing that fits the free GPUs meets the SLO.  Waiting
+                # for a larger allocation may still meet it — prefer that
+                # over knowingly burning the deadline.
+                deferred = self._deferred_slo_reservation(
+                    job, now, list(running) + placements
+                )
+                if deferred is not None:
+                    blocked_head = job
+                    reservation_time, gpus_needed, available = deferred
+                    spare_at_reservation = max(0, available - gpus_needed)
+                    continue
+                # The SLO is unmeetable either way: run best-effort now.
+                plan = self.best_plan(job, free, now)
+                if plan is not None:
+                    placements.append(self._place(queue, job, plan, now))
+                    continue
+                # Head does not fit right now.  Can it ever run?
+                full_plan = self.best_plan(job, self.cluster.total_gpus, now)
+                if full_plan is None:
+                    queue.remove(job)
+                    job.mark_rejected("infeasible: does not fit the cluster")
+                    rejected.append(job)
+                    continue
+                blocked_head = job
+                reservation_time, available = self._reservation_for(
+                    full_plan.gpus, now, list(running) + placements
+                )
+                spare_at_reservation = max(0, available - full_plan.gpus)
+                continue
+            # Backfill mode: only jobs that stay out of the head's way.
+            plan = self.best_plan(job, free, now)
+            if plan is None:
+                continue
+            fits_before = plan.finish_at(now) <= reservation_time
+            fits_beside = plan.gpus <= spare_at_reservation
+            if fits_before or fits_beside:
+                placements.append(self._place(queue, job, plan, now))
+                if fits_beside and not fits_before:
+                    spare_at_reservation -= plan.gpus
+        return placements, rejected
+
+    def _deferred_slo_reservation(
+        self, job: ReconstructionJob, now: float, running: Sequence[Placement]
+    ) -> Optional[Tuple[float, int, int]]:
+        """A future start that still meets the job's SLO, if one exists.
+
+        Considers every allocation size (cheapest first) over the whole
+        cluster: the job starts when enough running jobs have released
+        their GPUs, and qualifies when that start plus the predicted
+        runtime stays inside the deadline.  Returns ``(reservation_time,
+        gpus, gpus_available_then)`` or ``None``.
+        """
+        if job.deadline_seconds == float("inf"):
+            return None  # best-effort jobs never wait for bigger grids
+        for plan in sorted(
+            self.candidate_plans(job, self.cluster.total_gpus),
+            key=lambda p: p.gpus,
+        ):
+            start, available = self._reservation_for(plan.gpus, now, running)
+            if start <= now or start == float("inf"):
+                continue
+            if start + plan.runtime_seconds <= job.deadline_seconds:
+                return start, plan.gpus, available
+        return None
+
+    def _reservation_for(
+        self, gpus_needed: int, now: float, running: Sequence[Placement]
+    ) -> Tuple[float, int]:
+        """Earliest time ``gpus_needed`` GPUs are free, and how many are then.
+
+        Walks the running placements in finish order, accumulating released
+        GPUs onto the currently-free pool.
+        """
+        free = self.cluster.free_gpus
+        if free >= gpus_needed:
+            return now, free
+        for placement in sorted(running, key=lambda p: p.finish_seconds):
+            free += placement.gpus
+            if free >= gpus_needed:
+                return placement.finish_seconds, free
+        return float("inf"), free

@@ -1,0 +1,221 @@
+"""The reconstruction service: queue + scheduler + cache + metrics.
+
+:class:`ReconstructionService` is the seam every serving feature plugs into.
+It owns the simulated cluster, admits jobs through the
+:class:`~repro.service.queue.JobQueue`, lets the
+:class:`~repro.service.scheduler.ClusterScheduler` pack them onto GPUs, and
+advances a discrete-event clock: time jumps between job arrivals and job
+completions, with a scheduling cycle after every event.  Job runtimes come
+from the calibrated Eq. 8-19 performance model, so a 2,048-GPU deployment
+replays in milliseconds of wall time.
+
+On completion each job's filtered projections are inserted into the
+:class:`~repro.service.cache.FilteredProjectionCache`; later jobs on the
+same dataset/filter skip the filtering stage (``T_flt`` leaves the Eq. 17
+overlap), which both shortens them and frees filtering capacity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..gpusim.device import DeviceSpec, TESLA_V100
+from ..pipeline.perfmodel import IFDKPerformanceModel
+from .cache import CacheKey, FilteredProjectionCache
+from .job import JobState, ReconstructionJob
+from .metrics import ServiceMetrics
+from .queue import AdmissionPolicy, JobQueue
+from .scheduler import ClusterScheduler, GPUCluster, Placement
+from .trace import ArrivalTrace
+
+__all__ = ["ReconstructionService", "ServiceReport"]
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one replayed workload."""
+
+    policy: str
+    cluster_gpus: int
+    summary: Dict[str, float]
+    jobs: List[Dict] = field(default_factory=list)
+    description: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "cluster_gpus": self.cluster_gpus,
+            "description": self.description,
+            "summary": self.summary,
+            "jobs": self.jobs,
+        }
+
+
+class ReconstructionService:
+    """A multi-tenant reconstruction-as-a-service front end (simulated)."""
+
+    def __init__(
+        self,
+        cluster_gpus: int = 16,
+        *,
+        policy: str = "slo",
+        model: Optional[IFDKPerformanceModel] = None,
+        cache: Optional[FilteredProjectionCache] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        device: DeviceSpec = TESLA_V100,
+        max_gpus_per_job: Optional[int] = None,
+    ):
+        self.cluster = GPUCluster(cluster_gpus, device=device)
+        self.cache = cache if cache is not None else FilteredProjectionCache()
+        self.scheduler = ClusterScheduler(
+            self.cluster,
+            model=model,
+            policy=policy,
+            cache=self.cache,
+            max_gpus_per_job=max_gpus_per_job,
+        )
+        self.queue = JobQueue(admission)
+        self.metrics = ServiceMetrics()
+        self._running: List[Placement] = []
+        self._finish_heap: List = []  # (finish, sequence, Placement)
+        self.clock_seconds = 0.0
+
+    @property
+    def policy(self) -> str:
+        return self.scheduler.policy
+
+    @property
+    def running_jobs(self) -> List[ReconstructionJob]:
+        return [placement.job for placement in self._running]
+
+    # ------------------------------------------------------------------ #
+    # Submission and the event loop
+    # ------------------------------------------------------------------ #
+    def submit(self, job: ReconstructionJob, now: Optional[float] = None) -> bool:
+        """Admit one job at time ``now`` (default: the service clock).
+
+        Returns ``False`` — with the job marked ``REJECTED`` — when the job
+        cannot ever run on this cluster or fails queue admission control.
+        """
+        now = self.clock_seconds if now is None else now
+        job.arrival_seconds = now
+        feasibility = self.scheduler.best_plan(job, self.cluster.total_gpus, now)
+        if feasibility is None:
+            job.mark_rejected(
+                f"infeasible: no (R, C) decomposition of {job.problem} fits "
+                f"{self.cluster.total_gpus} x {self.cluster.device.name}"
+            )
+            self.metrics.record_rejection(job)
+            return False
+        job.estimated_seconds = feasibility.runtime_seconds
+        if not self.queue.offer(job):
+            self.metrics.record_rejection(job)
+            return False
+        return True
+
+    def _dispatch(self, now: float) -> None:
+        placements, rejected = self.scheduler.schedule(self.queue, now, self._running)
+        for job in rejected:
+            self.metrics.record_rejection(job)
+        for placement in placements:
+            self._running.append(placement)
+            heapq.heappush(
+                self._finish_heap,
+                (placement.finish_seconds, placement.job.sequence, placement),
+            )
+        self.metrics.sample_queue_depth(now, len(self.queue))
+
+    def _complete(self, placement: Placement) -> None:
+        now = placement.finish_seconds
+        self._running.remove(placement)
+        self.cluster.release(placement.gpus)
+        job = placement.job
+        job.mark_completed(now)
+        self.metrics.record_completion(job)
+        # Filtering ran as part of the job (unless it was a hit); its output
+        # is now on the PFS for every later job on the same dataset.
+        self.cache.insert(
+            CacheKey.for_job(job), nbytes=job.problem.input_bytes()
+        )
+
+    def run_until_idle(self) -> None:
+        """Drain the queue and all running jobs, advancing the clock."""
+        self._drain(arrivals=[])
+
+    def reset(self) -> None:
+        """Forget all jobs and metrics and rewind the clock to zero.
+
+        The filtered-projection cache is deliberately kept warm — in a
+        long-lived service its contents survive individual workloads.
+        """
+        if self._running or len(self.queue):
+            raise RuntimeError("cannot reset while jobs are queued or running")
+        self.metrics = ServiceMetrics()
+        self._finish_heap.clear()
+        self.clock_seconds = 0.0
+
+    def replay(self, trace: ArrivalTrace) -> ServiceReport:
+        """Replay a trace from t=0 and return the service report.
+
+        Each replay starts from fresh metrics (see :meth:`reset`); only the
+        cache carries over between replays on the same service.
+        """
+        arrivals = trace.jobs()
+        self.reset()
+        self._drain(arrivals=arrivals)
+        return self.report(description=trace.description)
+
+    # ------------------------------------------------------------------ #
+    def _drain(self, arrivals: List[ReconstructionJob]) -> None:
+        arrivals = sorted(arrivals, key=lambda j: (j.arrival_seconds, j.sequence))
+        next_arrival = 0
+        self._dispatch(self.clock_seconds)
+        while next_arrival < len(arrivals) or self._finish_heap or len(self.queue):
+            arrival_time = (
+                arrivals[next_arrival].arrival_seconds
+                if next_arrival < len(arrivals) else float("inf")
+            )
+            finish_time = (
+                self._finish_heap[0][0] if self._finish_heap else float("inf")
+            )
+            now = min(arrival_time, finish_time)
+            if now == float("inf"):
+                # Queued jobs but nothing running or arriving: the scheduler
+                # cannot place them now and no future event will free GPUs.
+                for job in self.queue.drain():
+                    job.mark_rejected(
+                        "starved: no future completion can free enough GPUs"
+                    )
+                    self.metrics.record_rejection(job)
+                break
+            self.clock_seconds = now
+            while self._finish_heap and self._finish_heap[0][0] <= now:
+                _, _, placement = heapq.heappop(self._finish_heap)
+                self._complete(placement)
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].arrival_seconds <= now
+            ):
+                self.submit(arrivals[next_arrival], now=now)
+                next_arrival += 1
+            self._dispatch(now)
+
+    # ------------------------------------------------------------------ #
+    def report(self, description: str = "") -> ServiceReport:
+        """Current metrics as a :class:`ServiceReport`."""
+        summary = self.metrics.summary(
+            cache=self.cache, cluster_gpus=self.cluster.total_gpus
+        )
+        jobs = sorted(
+            self.metrics.completed + self.metrics.rejected,
+            key=lambda j: (j.arrival_seconds, j.sequence),
+        )
+        return ServiceReport(
+            policy=self.policy,
+            cluster_gpus=self.cluster.total_gpus,
+            summary=summary,
+            jobs=[job.as_record() for job in jobs],
+            description=description,
+        )

@@ -15,6 +15,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_option_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
     def test_reconstruct_defaults(self):
         args = build_parser().parse_args(["reconstruct"])
         assert args.algorithm == "proposed"
@@ -61,6 +71,17 @@ class TestReconstructCommand:
         assert code == 0
         assert json.loads(capsys.readouterr().out)["algorithm"] == "standard"
 
+    def test_malformed_problem_spec_exits_2(self, capsys):
+        assert main(["reconstruct", "--problem", "not-a-problem"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_distributed_geometry_exits_2(self, capsys):
+        # Np = 6 is not divisible by R*C = 4, so IFDKConfig must refuse.
+        code = main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                     "--distributed", "--rows", "2", "--columns", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestPredictCommand:
     def test_default_4k_problem(self, capsys):
@@ -74,6 +95,17 @@ class TestPredictCommand:
 
     def test_invalid_rows_returns_error_code(self, capsys):
         assert main(["predict", "--gpus", "100", "--rows", "64"]) == 2
+
+    def test_malformed_problem_spec_exits_2(self, capsys):
+        assert main(["predict", "--problem", "64x64", "--gpus", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_infeasible_geometry_exits_2(self, capsys):
+        # A 64k^3 output cannot fit 4 V100s even with R = 4.
+        code = main(["predict", "--problem", "2048x2048x4096->64kx64kx64k",
+                     "--gpus", "4"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestTable4Command:

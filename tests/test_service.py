@@ -1,0 +1,467 @@
+"""Tests for the reconstruction-as-a-service layer (``repro.service``)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import fdk_weight_and_filter
+from repro.core.types import problem_from_string
+from repro.pfs import SimulatedPFS
+from repro.service import (
+    AdmissionPolicy,
+    ArrivalTrace,
+    CacheKey,
+    ClusterScheduler,
+    FilteredProjectionCache,
+    GPUCluster,
+    JobQueue,
+    JobState,
+    ReconstructionJob,
+    ReconstructionService,
+    ServiceMetrics,
+    TraceEntry,
+    fingerprint_stack,
+    synthetic_trace,
+)
+
+SMALL = "512x512x1024->256x256x256"
+MEDIUM = "1024x1024x1024->1024x1024x1024"
+HEAVY = "2048x2048x4096->2048x2048x2048"
+
+
+def make_job(problem=SMALL, **kwargs) -> ReconstructionJob:
+    return ReconstructionJob(problem=problem_from_string(problem), **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Jobs and the queue
+# --------------------------------------------------------------------------- #
+class TestJob:
+    def test_lifecycle(self):
+        job = make_job(slo_seconds=30.0, arrival_seconds=5.0)
+        assert job.state is JobState.PENDING
+        assert job.deadline_seconds == 35.0
+        job.mark_queued()
+        job.mark_running(6.0, gpus=4, rows=1, columns=4, cache_hit=False)
+        job.mark_completed(16.0)
+        assert job.latency_seconds == pytest.approx(11.0)
+        assert job.runtime_seconds == pytest.approx(10.0)
+        assert job.met_slo is True
+
+    def test_best_effort_deadline_is_infinite(self):
+        assert make_job().deadline_seconds == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_job(priority=-1)
+        with pytest.raises(ValueError):
+            make_job(slo_seconds=0.0)
+
+    def test_record_is_json_serializable(self):
+        job = make_job(slo_seconds=10.0)
+        json.dumps(job.as_record())
+
+
+class TestJobQueue:
+    def test_orders_by_priority_then_deadline(self):
+        queue = JobQueue()
+        late = make_job(priority=1, slo_seconds=50.0)
+        urgent = make_job(priority=0, slo_seconds=50.0)
+        tight = make_job(priority=1, slo_seconds=5.0)
+        for job in (late, urgent, tight):
+            assert queue.offer(job)
+        assert [j.job_id for j in queue.ordered()] == [
+            urgent.job_id, tight.job_id, late.job_id
+        ]
+        assert queue.peek() is urgent
+
+    def test_depth_cap_rejects(self):
+        queue = JobQueue(AdmissionPolicy(max_depth=2))
+        assert queue.offer(make_job())
+        assert queue.offer(make_job())
+        third = make_job()
+        assert not queue.offer(third)
+        assert third.state is JobState.REJECTED
+        assert "queue full" in third.rejection_reason
+
+    def test_backlog_cap_rejects(self):
+        queue = JobQueue(AdmissionPolicy(max_backlog_seconds=10.0))
+        first = make_job()
+        first.estimated_seconds = 8.0
+        second = make_job()
+        second.estimated_seconds = 5.0
+        assert queue.offer(first)
+        assert not queue.offer(second)
+        assert "backlog" in second.rejection_reason
+
+
+# --------------------------------------------------------------------------- #
+# Filtered-projection cache
+# --------------------------------------------------------------------------- #
+class TestFilteredProjectionCache:
+    def key(self, dataset="ds-0", nu=64, nv=64, np_=32, ramp="ram-lak"):
+        return CacheKey(dataset_id=dataset, ramp_filter=ramp, nu=nu, nv=nv, np_=np_)
+
+    def test_hit_miss_accounting(self):
+        cache = FilteredProjectionCache(capacity_bytes=1 << 30)
+        key = self.key()
+        assert not cache.lookup(key)
+        cache.insert(key, nbytes=1000)
+        assert cache.lookup(key)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_content_keyed(self):
+        cache = FilteredProjectionCache()
+        cache.insert(self.key(dataset="a"), nbytes=10)
+        assert not cache.contains(self.key(dataset="b"))
+        assert not cache.contains(self.key(dataset="a", ramp="hann"))
+        assert cache.contains(self.key(dataset="a"))
+
+    def test_lru_eviction_by_bytes(self):
+        cache = FilteredProjectionCache(capacity_bytes=250)
+        a, b, c = self.key("a"), self.key("b"), self.key("c")
+        cache.insert(a, nbytes=100)
+        cache.insert(b, nbytes=100)
+        cache.lookup(a)  # a becomes most-recently-used
+        cache.insert(c, nbytes=100)  # over capacity: evicts b (LRU)
+        assert cache.contains(a) and cache.contains(c)
+        assert not cache.contains(b)
+        assert cache.stats.evictions == 1
+
+    def test_contains_does_not_count(self):
+        cache = FilteredProjectionCache()
+        cache.contains(self.key())
+        assert cache.stats.lookups == 0
+
+    def test_refreshing_entry_still_enforces_capacity(self):
+        cache = FilteredProjectionCache(capacity_bytes=250)
+        a, b = self.key("a"), self.key("b")
+        cache.insert(a, nbytes=100)
+        cache.insert(b, nbytes=100)
+        cache.insert(a, nbytes=200)  # refresh grows a over capacity
+        assert cache.used_bytes <= 250
+        assert cache.stats.evictions == 1 and not cache.contains(b)
+
+    def test_get_filtered_counts_byte_only_entry_as_miss(self):
+        cache = FilteredProjectionCache(pfs=SimulatedPFS())
+        key = self.key()
+        cache.insert(key, nbytes=100)  # scheduling path: no stored stack
+        assert cache.get_filtered(key) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+    def test_pfs_write_through_roundtrip(self, small_geometry, small_projections):
+        pfs = SimulatedPFS()
+        cache = FilteredProjectionCache(pfs=pfs)
+        filtered = fdk_weight_and_filter(small_projections, small_geometry)
+        key = CacheKey(
+            dataset_id=fingerprint_stack(small_projections),
+            ramp_filter="ram-lak",
+            nu=small_projections.nu,
+            nv=small_projections.nv,
+            np_=small_projections.np_,
+        )
+        cache.insert(key, filtered=filtered)
+        restored = cache.get_filtered(key)
+        assert restored is not None and restored.filtered
+        np.testing.assert_array_equal(restored.data, filtered.data)
+
+    def test_fingerprint_tracks_content(self, small_projections):
+        base = fingerprint_stack(small_projections)
+        assert base == fingerprint_stack(small_projections.copy())
+        modified = small_projections.copy()
+        modified.data[0, 0, 0] += 1.0
+        assert base != fingerprint_stack(modified)
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler
+# --------------------------------------------------------------------------- #
+class TestClusterScheduler:
+    def test_slo_picks_cheapest_allocation_meeting_deadline(self):
+        scheduler = ClusterScheduler(GPUCluster(16))
+        loose = make_job(SMALL, slo_seconds=300.0)
+        tight = make_job(SMALL, slo_seconds=4.0)
+        loose_plan = scheduler.best_plan(loose, 16, now=0.0)
+        tight_plan = scheduler.best_plan(tight, 16, now=0.0)
+        assert loose_plan.gpus < tight_plan.gpus
+        assert tight_plan.finish_at(0.0) <= tight.deadline_seconds
+
+    def test_memory_constraint_forces_rows(self):
+        scheduler = ClusterScheduler(GPUCluster(16))
+        # The 2K output (32 GiB) needs R >= 4 on a 16 GB V100, so no plan
+        # with fewer than 4 GPUs exists.
+        plans = scheduler.candidate_plans(make_job(HEAVY), 16)
+        assert plans and min(p.gpus for p in plans) >= 4
+        assert all(p.rows >= 4 for p in plans)
+
+    def test_cached_runtime_is_never_slower(self):
+        scheduler = ClusterScheduler(GPUCluster(16))
+        problem = problem_from_string(SMALL)
+        plain = scheduler.runtime_seconds(problem, 1, 4)
+        cached = scheduler.runtime_seconds(problem, 1, 4, cached=True)
+        assert cached <= plain
+
+    def test_fifo_takes_whole_cluster_in_order(self):
+        cluster = GPUCluster(8)
+        scheduler = ClusterScheduler(cluster, policy="fifo")
+        queue = JobQueue()
+        first = make_job(SMALL, arrival_seconds=0.0)
+        second = make_job(SMALL, arrival_seconds=1.0)
+        queue.offer(second)
+        queue.offer(first)
+        placements, rejected = scheduler.schedule(queue, now=1.0, running=[])
+        assert not rejected
+        assert [p.job is first for p in placements[:1]] == [True]
+        assert placements[0].gpus == 8  # the whole cluster
+        assert len(placements) == 1 and len(queue) == 1  # head-of-line blocking
+
+    def test_slo_packs_concurrent_jobs(self):
+        cluster = GPUCluster(16)
+        scheduler = ClusterScheduler(cluster, policy="slo")
+        queue = JobQueue()
+        jobs = [make_job(SMALL, slo_seconds=120.0) for _ in range(4)]
+        for job in jobs:
+            queue.offer(job)
+        placements, _ = scheduler.schedule(queue, now=0.0, running=[])
+        assert len(placements) == 4  # all run concurrently
+        assert sum(p.gpus for p in placements) <= 16
+
+    def test_infeasible_job_rejected(self):
+        scheduler = ClusterScheduler(GPUCluster(4))
+        queue = JobQueue()
+        monster = make_job("2048x2048x4096->8192x8192x8192")
+        queue.offer(monster)
+        placements, rejected = scheduler.schedule(queue, now=0.0, running=[])
+        assert not placements and rejected == [monster]
+        assert monster.state is JobState.REJECTED
+
+    def test_slo_defers_for_larger_grid_when_waiting_meets_deadline(self):
+        from repro.pipeline import choose_grid
+        from repro.service import AllocationPlan, Placement
+
+        cluster = GPUCluster(8)
+        scheduler = ClusterScheduler(cluster, policy="slo")
+        heavy = make_job(HEAVY)
+        r4 = scheduler.runtime_seconds(heavy.problem, *choose_grid(heavy.problem, 4))
+        r8 = scheduler.runtime_seconds(heavy.problem, *choose_grid(heavy.problem, 8))
+        assert r8 < r4
+        # 4 GPUs are busy until t=1; the remaining 4 would miss the SLO,
+        # but all 8 starting at t=1 meet it.
+        blocker = make_job(SMALL)
+        blocker.mark_running(0.0, gpus=4, rows=1, columns=4, cache_hit=False)
+        cluster.allocate(4)
+        running = [Placement(
+            job=blocker,
+            plan=AllocationPlan(gpus=4, rows=1, columns=4,
+                                runtime_seconds=1.0, cache_hit=False),
+            start_seconds=0.0,
+        )]
+        heavy.slo_seconds = 1.0 + r8 + 0.5
+        assert heavy.slo_seconds < r4
+        queue = JobQueue()
+        queue.offer(heavy)
+        placements, rejected = scheduler.schedule(queue, now=0.0, running=running)
+        assert placements == [] and rejected == []
+        assert len(queue) == 1  # deferred behind the 8-GPU reservation
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler(GPUCluster(4), policy="random")
+
+    def test_cluster_allocation_bounds(self):
+        cluster = GPUCluster(4)
+        cluster.allocate(3)
+        with pytest.raises(RuntimeError):
+            cluster.allocate(2)
+        cluster.release(3)
+        with pytest.raises(RuntimeError):
+            cluster.release(1)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+class TestServiceMetrics:
+    def test_summary_percentiles_and_throughput(self):
+        metrics = ServiceMetrics()
+        for i, latency in enumerate((1.0, 2.0, 3.0, 4.0)):
+            job = make_job(SMALL, arrival_seconds=float(i))
+            job.mark_running(float(i), gpus=2, rows=1, columns=2, cache_hit=False)
+            job.mark_completed(float(i) + latency)
+            metrics.record_completion(job)
+        summary = metrics.summary(cluster_gpus=4)
+        assert summary["jobs_completed"] == 4
+        assert summary["latency_p50_s"] == pytest.approx(2.5)
+        assert summary["makespan_s"] == pytest.approx(7.0)
+        assert summary["throughput_jobs_per_s"] == pytest.approx(4 / 7.0)
+        assert 0.0 < summary["gpu_utilization"] <= 1.0
+
+    def test_rejects_wrong_state(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError):
+            metrics.record_completion(make_job())
+
+
+# --------------------------------------------------------------------------- #
+# Traces
+# --------------------------------------------------------------------------- #
+class TestArrivalTrace:
+    def test_synthetic_trace_is_deterministic(self):
+        a = synthetic_trace(12, seed=7)
+        b = synthetic_trace(12, seed=7)
+        assert a.to_json() == b.to_json()
+        assert synthetic_trace(12, seed=8).to_json() != a.to_json()
+
+    def test_json_roundtrip(self, tmp_path):
+        trace = synthetic_trace(10, cluster_gpus=8, seed=3)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        assert loaded.cluster_gpus == 8
+        assert loaded.to_json() == trace.to_json()
+
+    def test_entries_sorted_by_arrival(self):
+        trace = ArrivalTrace(entries=[
+            TraceEntry(job_id="b", tenant="t", arrival_seconds=5.0, problem=SMALL,
+                       dataset_id="d"),
+            TraceEntry(job_id="a", tenant="t", arrival_seconds=1.0, problem=SMALL,
+                       dataset_id="d"),
+        ])
+        assert [e.job_id for e in trace.entries] == ["a", "b"]
+
+    def test_malformed_json_raises_value_error(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace.from_json("not json")
+        with pytest.raises(ValueError):
+            ArrivalTrace.from_json("[1, 2]")
+        with pytest.raises(ValueError):
+            ArrivalTrace.from_json('{"jobs": [{"tenant": "t"}]}')
+
+    def test_null_fields_raise_value_error(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace.from_json(
+                '{"jobs": [{"id": "j", "arrival": null, "problem": "%s"}]}' % SMALL
+            )
+        with pytest.raises(ValueError):
+            ArrivalTrace.from_json(
+                '{"jobs": [{"id": "j", "arrival": 0.0, "priority": null, '
+                '"problem": "%s"}]}' % SMALL
+            )
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end service replay
+# --------------------------------------------------------------------------- #
+class TestReconstructionService:
+    def test_replay_completes_every_job(self):
+        trace = synthetic_trace(20, cluster_gpus=8, seed=1)
+        service = ReconstructionService(8)
+        report = service.replay(trace)
+        assert report.summary["jobs_completed"] == 20
+        assert report.summary["jobs_rejected"] == 0
+        assert service.cluster.in_use == 0
+        assert len(service.queue) == 0
+
+    def test_cache_hits_on_repeat_datasets(self):
+        trace = synthetic_trace(20, cluster_gpus=8, seed=1, n_datasets=2)
+        service = ReconstructionService(8)
+        report = service.replay(trace)
+        assert report.summary["cache_hit_rate"] > 0
+
+    def test_concurrent_jobs_never_exceed_cluster(self):
+        trace = synthetic_trace(20, cluster_gpus=8, seed=2)
+        service = ReconstructionService(8)
+        report = service.replay(trace)
+        events = []
+        for job in report.jobs:
+            events.append((job["start_s"], job["gpus"]))
+            events.append((job["finish_s"], -job["gpus"]))
+        in_use, peak = 0, 0
+        # Releases sort before same-instant allocations, as in the event loop.
+        for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            in_use += delta
+            peak = max(peak, in_use)
+        assert peak <= 8
+
+    def test_submit_rejects_infeasible_problem(self):
+        service = ReconstructionService(2)
+        job = make_job("2048x2048x4096->8192x8192x8192")
+        assert not service.submit(job)
+        assert job.state is JobState.REJECTED
+        assert "infeasible" in job.rejection_reason
+        assert service.metrics.rejected == [job]
+
+    def test_single_job_latency_matches_model(self):
+        service = ReconstructionService(4)
+        job = make_job(SMALL, slo_seconds=1000.0)
+        assert service.submit(job)
+        service.run_until_idle()
+        expected = service.scheduler.runtime_seconds(job.problem, job.rows, job.columns)
+        assert job.latency_seconds == pytest.approx(expected)
+        assert job.met_slo
+
+    def test_fifo_policy_serializes(self):
+        trace = synthetic_trace(8, cluster_gpus=8, seed=0, heavy_fraction=0.0)
+        report = ReconstructionService(8, policy="fifo").replay(trace)
+        done = [j for j in report.jobs if j["state"] == "completed"]
+        # With the whole cluster per job, executions never overlap.
+        spans = sorted((j["start_s"], j["finish_s"]) for j in done)
+        for (_, f0), (s1, _) in zip(spans, spans[1:]):
+            assert s1 >= f0 - 1e-9
+
+    def test_report_is_json_serializable(self):
+        report = ReconstructionService(8).replay(synthetic_trace(6, seed=0))
+        json.dumps(report.as_dict())
+
+    def test_second_replay_starts_from_fresh_metrics(self):
+        service = ReconstructionService(8)
+        service.replay(synthetic_trace(6, seed=0))
+        report = service.replay(synthetic_trace(5, seed=1))
+        assert report.summary["jobs_completed"] == 5
+        assert len(report.jobs) == 5
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface of the service
+# --------------------------------------------------------------------------- #
+class TestServiceCLI:
+    def test_trace_then_serve(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = tmp_path / "workload.json"
+        report_path = tmp_path / "report.json"
+        assert main(["trace", "--jobs", "20", "--gpus", "8", "--seed", "0",
+                     "-o", str(trace_path)]) == 0
+        assert main(["serve", "--trace", str(trace_path),
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "latency_p99_s" in out and "cache_hit_rate" in out
+        report = json.loads(report_path.read_text())
+        assert report["summary"]["jobs_completed"] == 20
+        assert report["summary"]["cache_hit_rate"] > 0
+        assert report["cluster_gpus"] == 8
+
+    def test_serve_missing_trace_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["serve", "--trace", str(tmp_path / "nope.json")]) == 2
+
+    def test_serve_malformed_trace_exits_2(self, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["serve", "--trace", str(bad)]) == 2
+
+    def test_submit_prints_completed_record(self, capsys):
+        from repro.cli import main
+
+        assert main(["submit", "--problem", SMALL, "--gpus", "4",
+                     "--slo", "1000"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "completed"
+        assert record["met_slo"] is True
