@@ -16,6 +16,8 @@ from repro.gpusim import BP_L1, L1_TRAN, BackprojectionCostModel, TESLA_V100
 from repro.pfs import PFSConfig
 from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKPerformanceModel
 
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
+
 
 def test_ablation_projection_transpose_for_l1_path(benchmark):
     """Bp-L1 vs L1-Tran: the transpose is what makes the L1 path viable."""

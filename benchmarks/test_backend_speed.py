@@ -1,0 +1,97 @@
+"""Backend speed micro-benchmark: reference vs vectorized vs blocked.
+
+The paper's pitch is a back-projection that is arithmetically identical but
+far cheaper; the backend seam exists so the repo can keep making that trade
+safely.  This benchmark pins a real hot-path number to it: the proposed
+back-projection (Algorithm 4) of a 64³ volume from 128 projections, timed
+on every registered backend, with the conformance suite guaranteeing the
+outputs agree.  The results are written to ``BENCH_backend_speed.json`` at
+the repo root so future PRs can track the hot path instead of guessing.
+
+The assertion — ``vectorized`` strictly beats ``reference`` — is the
+acceptance bar for this PR's tentpole and the regression tripwire for any
+later change to the fast kernels.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import BACKEND_NAMES, get_backend
+from repro.core import default_geometry_for_problem
+from repro.core.types import ProjectionStack, ReconstructionProblem
+
+# slow: wall-clock assertions don't belong in the blocking tier-1 suite
+# (they flake under load/coverage instrumentation); the CI benchmarks job
+# and `pytest -m bench -o addopts=` run them.
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_backend_speed.json"
+
+#: The 64³ / 128-projection hot-path problem of the acceptance criterion.
+PROBLEM = ReconstructionProblem(nu=96, nv=96, np_=128, nx=64, ny=64, nz=64)
+
+
+def _best_seconds(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_speed_vectorized_beats_reference():
+    geometry = default_geometry_for_problem(
+        nu=PROBLEM.nu, nv=PROBLEM.nv, np_=PROBLEM.np_,
+        nx=PROBLEM.nx, ny=PROBLEM.ny, nz=PROBLEM.nz,
+    )
+    rng = np.random.default_rng(0)
+    stack = ProjectionStack(
+        data=rng.standard_normal(
+            (PROBLEM.np_, PROBLEM.nv, PROBLEM.nu)
+        ).astype(np.float32),
+        angles=geometry.angles,
+        filtered=True,  # back-projection only: this is the hot path
+    )
+
+    results = {}
+    for name in BACKEND_NAMES:
+        backend = get_backend(name)
+        # One small warm-up reconstruction (grid caches, FFT plans).
+        backend.backproject(
+            stack.subset(range(2)), geometry, algorithm="proposed",
+            z_range=(0, 4),
+        )
+        repeats = 1 if name == "reference" else 2
+        seconds = _best_seconds(
+            lambda b=backend: b.backproject(stack, geometry, algorithm="proposed"),
+            repeats=repeats,
+        )
+        results[name] = {
+            "seconds": seconds,
+            "gups": PROBLEM.gups(seconds),
+        }
+
+    record = {
+        "benchmark": "proposed back-projection (Algorithm 4), hot path only",
+        "problem": str(PROBLEM),
+        "updates": PROBLEM.updates,
+        "backends": results,
+        "speedup_vectorized_over_reference": (
+            results["reference"]["seconds"] / results["vectorized"]["seconds"]
+        ),
+    }
+    RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+    assert results["vectorized"]["seconds"] < results["reference"]["seconds"], (
+        "vectorized backend must beat reference on the 64^3/128-projection "
+        f"micro-benchmark: {record}"
+    )

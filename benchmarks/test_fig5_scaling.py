@@ -23,6 +23,8 @@ from repro.bench import (
 from repro.core import default_geometry_for_problem, forward_project_analytic, uniform_sphere_phantom
 from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKConfig, IFDKFramework, IFDKPerformanceModel
 
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
+
 #: Paper Figure 5a/5b measured T_compute values (seconds) for reference.
 PAPER_5A_COMPUTE = {32: 70.2, 64: 35.6, 128: 18.9, 256: 10.2, 512: 5.6, 1024: 3.3, 2048: 2.1}
 PAPER_5B_COMPUTE = {256: 101.3, 512: 53.1, 1024: 29.7, 2048: 17.2}

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import figure6_workloads, format_scaling_figure
 from repro.pipeline import ABCI_MICROBENCHMARKS, IFDKPerformanceModel
+
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
 
 #: Paper Figure 6 values (GUPS) for reference.
 PAPER_FIG6 = {

@@ -21,6 +21,8 @@ from repro.core import (
 )
 from repro.pipeline import IFDKConfig, IFDKFramework
 
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
+
 
 def test_fig7_volume_reduction_4x4_grid(benchmark):
     geometry = default_geometry_for_problem(nu=48, nv=48, np_=16, nx=32, ny=32, nz=32)

@@ -12,6 +12,8 @@ heavy ones instead of serializing the whole cluster behind them.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import format_table
 from repro.service import ReconstructionService, synthetic_trace
 
@@ -29,6 +31,8 @@ _REPORT_KEYS = (
     "cache_hit_rate",
     "gpu_utilization",
 )
+
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
 
 
 def _replay(policy: str):

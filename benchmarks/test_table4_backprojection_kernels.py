@@ -16,6 +16,8 @@ from repro.bench import TABLE4_PROBLEMS, format_table, paper_reference_table4
 from repro.core.backprojection import backproject_proposed, backproject_standard
 from repro.gpusim import KERNEL_VARIANTS, predict_table4
 
+pytestmark = pytest.mark.slow  # paper-scale replay: excluded from tier-1 by default
+
 
 def test_table4_model_reproduces_paper_shape(benchmark):
     """Regenerate Table 4 from the cost model and check its qualitative shape."""

@@ -11,6 +11,10 @@ Sub-packages
     The FDK algorithms: geometry, phantoms, forward projection, filtering
     (Algorithm 1), the standard and proposed back-projection algorithms
     (Algorithms 2 and 4), iterative solvers and quality metrics.
+``repro.backends``
+    Pluggable compute backends for the hot paths (``reference``,
+    ``vectorized``, ``blocked``), proven interchangeable by the
+    cross-backend conformance suite.
 ``repro.gpusim``
     A simulated GPU substrate: device model, memory tracking, warp/shuffle
     semantics and the five back-projection kernel variants of Table 3 with
@@ -33,11 +37,12 @@ Sub-packages
     and a content-keyed cache of filtered projections.
 """
 
-from . import bench, core, gpusim, mpi, pfs, pipeline, service
+from . import backends, bench, core, gpusim, mpi, pfs, pipeline, service
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "backends",
     "bench",
     "core",
     "gpusim",

@@ -1,0 +1,97 @@
+"""Pluggable compute backends for the FDK hot paths.
+
+Every layer of the stack — :class:`repro.core.fdk.FDKReconstructor`, the
+iFDK rank runtime, the reconstruction service and the CLI — executes its
+ramp filtering and back-projection through a named
+:class:`~repro.backends.base.ComputeBackend`:
+
+``reference``
+    The original paper-literal NumPy implementation (the conformance
+    ground truth).
+``vectorized``
+    Fully batched NumPy: per-projection geometry hoisted per Theorems 2/3,
+    fused weight·fetch·accumulate, real-FFT filtering.
+``blocked``
+    The vectorized kernels tiled over (z, y) slabs under a byte budget —
+    bit-identical to ``vectorized``, shaped like a GPU/out-of-core port.
+
+Adding a backend
+----------------
+
+Subclass :class:`~repro.backends.base.ComputeBackend`, implement
+``apply_filter`` and ``accumulator``, give it a unique ``name`` and call
+:func:`register_backend`.  The new backend must pass the conformance
+matrix in ``tests/test_backend_conformance.py`` (≤ 1e-5 relative RMSE
+against ``reference`` on every preset/dtype/slab combination) before it is
+trusted anywhere; see :mod:`repro.backends.base` for the full contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from .base import ALGORITHMS, ComputeBackend, VolumeAccumulator
+from .blocked import DEFAULT_BYTE_BUDGET, BlockedBackend, plan_tiles
+from .reference import ReferenceBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "ALGORITHMS",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "DEFAULT_BYTE_BUDGET",
+    "BlockedBackend",
+    "ComputeBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "VolumeAccumulator",
+    "available_backends",
+    "get_backend",
+    "plan_tiles",
+    "register_backend",
+]
+
+#: The backend every layer defaults to.
+DEFAULT_BACKEND = "reference"
+
+_registry: Dict[str, ComputeBackend] = {}
+
+
+def register_backend(backend: Union[ComputeBackend, Type[ComputeBackend]]) -> ComputeBackend:
+    """Register a backend instance (or zero-argument class) by its ``name``."""
+    instance = backend() if isinstance(backend, type) else backend
+    if not isinstance(instance, ComputeBackend):
+        raise TypeError(f"{backend!r} is not a ComputeBackend")
+    if not instance.name:
+        raise ValueError("backend must define a non-empty name")
+    _registry[instance.name] = instance
+    return instance
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends (sorted, ``reference`` first)."""
+    names = sorted(_registry)
+    if DEFAULT_BACKEND in names:
+        names.remove(DEFAULT_BACKEND)
+        names.insert(0, DEFAULT_BACKEND)
+    return tuple(names)
+
+
+def get_backend(name: Union[str, ComputeBackend]) -> ComputeBackend:
+    """Resolve a backend by name (instances pass through unchanged)."""
+    if isinstance(name, ComputeBackend):
+        return name
+    try:
+        return _registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+register_backend(ReferenceBackend)
+register_backend(VectorizedBackend)
+register_backend(BlockedBackend)
+
+#: Stable tuple of the built-in backend names.
+BACKEND_NAMES = available_backends()

@@ -1,0 +1,238 @@
+"""The compute-backend protocol for the FDK hot paths.
+
+The paper's central claim is that the *proposed* back-projection is
+arithmetically identical to the standard one while being far cheaper.  This
+module generalizes that discipline into an execution seam: the three hot
+paths of the pipeline — ramp filtering, standard back-projection
+(Algorithm 2) and proposed back-projection (Algorithm 4) — are expressed
+against an abstract :class:`ComputeBackend`, and every concrete backend must
+prove itself *numerically equivalent* to the ``reference`` backend before it
+may be selected anywhere in the stack.
+
+The protocol
+------------
+
+A backend implements two primitives:
+
+``apply_filter(rows, response, tau)``
+    Convolve detector rows (last axis) with a precomputed ramp-filter
+    frequency ``response``; the surrounding cosine weighting and FDK
+    normalization are shared code (they are cheap elementwise products), so
+    a backend only owns the FFT convolution itself.
+
+``accumulator(geometry, algorithm=..., z_range=..., ...)``
+    Return a :class:`VolumeAccumulator` bound to one geometry and Z slab.
+    The accumulator receives filtered projections one at a time (the shape
+    the streaming iFDK pipeline produces) and owns the voxel-update loop —
+    this is where backends differ in batching, blocking and memory layout.
+
+Everything else (`filter_stack`, `backproject`) is derived from those two
+primitives by shared driver code in this class, so all backends execute the
+*same* orchestration and differ only in the inner kernels.
+
+The conformance contract
+------------------------
+
+A new backend is correct when ``tests/test_backend_conformance.py`` passes
+with it registered:
+
+* each hot path must agree with ``reference`` to a relative RMSE of at most
+  ``1e-5`` on every geometry preset, input dtype and Z-slab decomposition of
+  the matrix (in practice the NumPy backends agree to ~1e-7);
+* backends that share arithmetic but differ only in traversal order (for
+  example ``blocked`` vs ``vectorized``) must agree **bit-exactly**;
+* the Theorem 1–3 invariants (mirror-row reflection, u/z/Wdis constant
+  along Z) must survive the backend's algebraic rearrangements.
+
+Register the backend with :func:`repro.backends.register_backend` and add
+its name to the conformance matrix; nothing else in the stack needs to
+change — `FDKReconstructor`, the iFDK rank runtime, the service and the CLI
+all select backends by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.filtering import (
+    cosine_weight_table,
+    fdk_normalization,
+    ramp_filter_frequency_response,
+)
+from ..core.geometry import CBCTGeometry
+from ..core.types import DEFAULT_DTYPE, ProjectionStack, Volume
+
+__all__ = ["ComputeBackend", "VolumeAccumulator", "ALGORITHMS"]
+
+#: Back-projection algorithm names every backend must support.
+ALGORITHMS = ("standard", "proposed")
+
+
+class VolumeAccumulator(abc.ABC):
+    """A streaming back-projection accumulator bound to one Z slab.
+
+    One projection at a time is folded into the accumulator via :meth:`add`;
+    :meth:`volume` returns the accumulated sub-volume in the canonical
+    i-major ``(Nz_local, Ny, Nx)`` layout regardless of the backend's
+    internal storage.  Accumulation must be deterministic: the result may
+    depend only on the sequence of ``(projection, angle)`` pairs, never on
+    wall-clock, thread scheduling or allocation addresses.
+    """
+
+    def __init__(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        self.geometry = geometry
+        self.algorithm = algorithm
+        self.use_symmetry = use_symmetry
+        self.z_range = z_range if z_range is not None else (0, geometry.nz)
+        z_start, z_stop = self.z_range
+        if not (0 <= z_start < z_stop <= geometry.nz):
+            raise ValueError(f"invalid z_range {z_range} for Nz={geometry.nz}")
+
+    @property
+    def nz_local(self) -> int:
+        return self.z_range[1] - self.z_range[0]
+
+    @abc.abstractmethod
+    def add(self, projection: np.ndarray, angle: float) -> None:
+        """Fold one filtered ``(Nv, Nu)`` projection into the sub-volume."""
+
+    @abc.abstractmethod
+    def volume(self) -> Volume:
+        """The accumulated sub-volume, i-major ``(Nz_local, Ny, Nx)``."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Zero the accumulator, keeping geometry and configuration."""
+
+    def _validate(self, projection: np.ndarray) -> None:
+        if projection.shape != (self.geometry.nv, self.geometry.nu):
+            raise ValueError(
+                f"projection shape {projection.shape} does not match detector "
+                f"({self.geometry.nv}, {self.geometry.nu})"
+            )
+
+
+class ComputeBackend(abc.ABC):
+    """One execution strategy for the FDK hot paths.
+
+    Subclasses implement :meth:`apply_filter` and :meth:`accumulator`; the
+    stack-level drivers below are shared so every backend runs the same
+    orchestration (weighting, normalization, per-projection streaming) and
+    differs only in its inner kernels.
+    """
+
+    #: Registry name (``--backend`` value); subclasses must override.
+    name: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def apply_filter(
+        self, rows: np.ndarray, response: np.ndarray, tau: float
+    ) -> np.ndarray:
+        """Convolve detector rows (last axis) with the ramp ``response``.
+
+        ``response`` is the full-length frequency response produced by
+        :func:`repro.core.filtering.ramp_filter_frequency_response`; the
+        output must include the ``tau`` Riemann-sum factor and keep the
+        input's floating dtype (promoting integers to float32).
+        """
+
+    @abc.abstractmethod
+    def accumulator(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        k_chunk: int = 32,
+    ) -> VolumeAccumulator:
+        """A fresh zeroed :class:`VolumeAccumulator` for one Z slab."""
+
+    # ------------------------------------------------------------------ #
+    # Shared drivers
+    # ------------------------------------------------------------------ #
+    def filter_stack(
+        self,
+        stack: ProjectionStack,
+        geometry: CBCTGeometry,
+        window: str = "ram-lak",
+        *,
+        apply_fdk_scale: bool = True,
+    ) -> ProjectionStack:
+        """Algorithm 1 on a whole stack: cosine weight, ramp filter, scale."""
+        if stack.nu != geometry.nu or stack.nv != geometry.nv:
+            raise ValueError(
+                f"projection stack ({stack.nv}x{stack.nu}) does not match detector "
+                f"({geometry.nv}x{geometry.nu})"
+            )
+        fcos = cosine_weight_table(geometry)
+        tau = geometry.du * geometry.sad / geometry.sdd
+        response = ramp_filter_frequency_response(geometry.nu, tau, window)
+        weighted = stack.data * fcos[None, :, :]
+        filtered = self.apply_filter(weighted, response, tau)
+        if apply_fdk_scale:
+            filtered = filtered * DEFAULT_DTYPE(fdk_normalization(geometry))
+        return ProjectionStack(
+            data=filtered.astype(DEFAULT_DTYPE, copy=False),
+            angles=stack.angles.copy(),
+            filtered=True,
+        )
+
+    def backproject(
+        self,
+        stack: ProjectionStack,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        k_chunk: int = 32,
+    ) -> Volume:
+        """Back-project a filtered stack through this backend's accumulator."""
+        acc = self.accumulator(
+            geometry,
+            algorithm=algorithm,
+            z_range=z_range,
+            use_symmetry=use_symmetry,
+            k_chunk=k_chunk,
+        )
+        for angle, projection in stack:
+            acc.add(projection, angle)
+        return acc.volume()
+
+    def reconstruct(
+        self,
+        stack: ProjectionStack,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        window: str = "ram-lak",
+        z_range: Optional[Tuple[int, int]] = None,
+    ) -> Volume:
+        """Full FDK (filter + back-project) on this backend."""
+        filtered = stack if stack.filtered else self.filter_stack(
+            stack, geometry, window
+        )
+        return self.backproject(
+            filtered, geometry, algorithm=algorithm, z_range=z_range
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,322 @@
+"""The ``vectorized`` backend: fully batched NumPy kernels for the hot paths.
+
+Where the ``reference`` backend is a literal transcription of the paper's
+algorithms (per-projection Python loops, chunked coordinate batches, SciPy
+``map_coordinates`` fetches), this backend restructures the same arithmetic
+for NumPy throughput:
+
+* **Filtering** uses the real-input FFT (``rfft``/``irfft``) over the whole
+  stack at once — the ramp response is real and even, so multiplying the
+  half-spectrum is mathematically identical to the complex FFT path at half
+  the transform work.
+* **Proposed back-projection (Algorithm 4)** hoists everything Theorems 2
+  and 3 allow out of the Z loop *and* fuses the remaining work: for each
+  projection the per-column detector coordinate ``u``, reciprocal ``f=1/z``
+  and distance weight ``Wdis=f²`` are computed once per ``(i, j)`` column,
+  the ``u`` interpolation **and** the distance weight are folded into a
+  pre-gathered column table ``cols[v, j, i] = Wdis·((1-du)·Q[v,u0]+du·Q[v,u0+1])``,
+  and every Z slice then costs one fused multiply-add for ``v`` (affine in
+  ``k`` by Theorem 3) plus a 1-D linear interpolation into ``cols``.  The
+  explicit mirror-row reflection of Theorem 1 buys nothing here — the ``v``
+  computation is already a single vectorized FMA — so all slices are
+  evaluated directly, which also makes Z-slab decompositions bit-exact.
+* **Standard back-projection (Algorithm 2)** evaluates the full three inner
+  products per voxel as the paper prescribes, but over the entire ``(k, j,
+  i)`` block at once with a manual fused bilinear gather instead of chunked
+  ``map_coordinates`` calls.
+
+All interpolation weights are computed in float64 and each projection's
+contribution is rounded to float32 exactly once, at accumulation — the same
+rounding structure as the reference path, which is why the two agree to
+~1e-7 relative RMSE (the conformance bound is 1e-5).
+
+The block kernels take explicit ``(k, y)`` sub-ranges and are elementwise in
+the block, so the ``blocked`` backend reuses them tile-by-tile and produces
+**bit-identical** volumes (asserted by the conformance suite).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # SciPy's pocketfft is noticeably faster than numpy.fft for real FFTs.
+    from scipy import fft as _fft
+except ImportError:  # pragma: no cover - scipy is a hard dependency
+    from numpy import fft as _fft  # type: ignore[no-redef]
+
+from ..core.geometry import CBCTGeometry
+from ..core.types import DEFAULT_DTYPE, Volume
+from .base import ComputeBackend, VolumeAccumulator
+
+__all__ = [
+    "VectorizedBackend",
+    "rfft_ramp_filter",
+    "accumulate_proposed_block",
+    "accumulate_standard_block",
+]
+
+
+@lru_cache(maxsize=8)
+def _index_grids(ny: int, nx: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Read-only float64 ``(j_grid, i_grid)`` meshes, shared across calls."""
+    jj = np.arange(ny, dtype=np.float64)
+    ii = np.arange(nx, dtype=np.float64)
+    j_grid, i_grid = np.meshgrid(jj, ii, indexing="ij")
+    j_grid.setflags(write=False)
+    i_grid.setflags(write=False)
+    return j_grid, i_grid
+
+
+def _gather_dtype(max_index: int):
+    """Smallest integer dtype for gather indices (int32 halves index traffic)."""
+    return np.int32 if max_index < 2**31 - 1 else np.intp
+
+
+def _padded_index(coord_int: np.ndarray, bound: int, dtype) -> np.ndarray:
+    """Map floor coordinates onto a double-zero-padded axis.
+
+    ``coord_int`` holds float64 ``floor`` values; the returned integers index
+    an axis laid out as ``[0, 0, data[0..bound-1], 0, 0]``.  Clipping to
+    ``[-2, bound]`` parks every out-of-range neighbour (and the neighbour's
+    ``+1`` successor) on a zero sample, which replaces the bounds masks of a
+    classic bilinear gather with plain arithmetic.
+    """
+    return (np.clip(coord_int, -2.0, float(bound)) + 2.0).astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Filtering: real-FFT ramp convolution
+# --------------------------------------------------------------------------- #
+def rfft_ramp_filter(
+    rows: np.ndarray, response: np.ndarray, tau: float
+) -> np.ndarray:
+    """Convolve rows (last axis) with the ramp response via the real FFT.
+
+    The ramp kernel is real and even, so its frequency response is real and
+    even too and the half-spectrum product equals the full complex-FFT
+    product.  Output matches :func:`repro.core.filtering.apply_ramp_filter`
+    to floating-point round-off (and is itself deterministic per row, which
+    is what makes row-blocked execution bit-exact).
+    """
+    rows = np.asarray(rows)
+    nu = rows.shape[-1]
+    pad = response.shape[0]
+    if pad < nu:
+        raise ValueError("response is shorter than the rows to filter")
+    half = response[: pad // 2 + 1]
+    spectrum = _fft.rfft(rows, n=pad, axis=-1)
+    filtered = _fft.irfft(spectrum * half, n=pad, axis=-1)[..., :nu]
+    return (filtered * tau).astype(
+        rows.dtype if rows.dtype.kind == "f" else DEFAULT_DTYPE
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Back-projection block kernels (elementwise in the (k, y) block)
+# --------------------------------------------------------------------------- #
+def accumulate_proposed_block(
+    out_block: np.ndarray,
+    projection: np.ndarray,
+    p: np.ndarray,
+    ks: np.ndarray,
+    i_grid: np.ndarray,
+    j_grid: np.ndarray,
+) -> None:
+    """Fused Algorithm 4 update of one ``(K, By, Nx)`` block.
+
+    Parameters
+    ----------
+    out_block:
+        Float32 accumulator view of shape ``(K, By, Nx)`` — Z slices ``ks``
+        by a Y tile by the full X extent, in the i-major layout.
+    projection:
+        One filtered projection ``(Nv, Nu)``.
+    p:
+        The 3x4 projection matrix for this projection's angle.
+    ks:
+        Global Z indices of the block's slices, float64 ``(K,)``.
+    i_grid, j_grid:
+        Float64 index meshes of shape ``(By, Nx)`` for the Y tile.
+    """
+    nv, nu = projection.shape
+    n_k = len(ks)
+    n_y, n_x = i_grid.shape
+    n_cols = n_y * n_x
+    # Theorems 2 and 3: u, 1/z and Wdis depend only on (i, j).  This block is
+    # K-independent, so it stays in float64 — it is amortized over all Z.
+    x = p[0, 0] * i_grid + p[0, 1] * j_grid + p[0, 3]
+    z = p[2, 0] * i_grid + p[2, 1] * j_grid + p[2, 3]
+    f = 1.0 / z
+    u = x * f
+    w = f * f
+    y_base = p[1, 0] * i_grid + p[1, 1] * j_grid + p[1, 3]
+
+    # Fold the u interpolation and the distance weight into per-column
+    # detector tables: cols[v, jy, ix] = Wdis * ((1-du)·Q[v,u0] + du·Q[v,u0+1]),
+    # stored inside two zero rows top and bottom so the Z-loop gathers below
+    # need no bounds masks.
+    u0 = np.floor(u).astype(np.intp)
+    du = u - u0
+    left_ok = (u0 >= 0) & (u0 < nu)
+    right_ok = (u0 + 1 >= 0) & (u0 + 1 < nu)
+    u0c = np.clip(u0, 0, nu - 1).ravel()
+    u1c = np.clip(u0 + 1, 0, nu - 1).ravel()
+    cw_left = (np.where(left_ok, 1.0 - du, 0.0) * w).astype(np.float32).ravel()
+    cw_right = (np.where(right_ok, du, 0.0) * w).astype(np.float32).ravel()
+    padded = np.zeros((nv + 4, n_cols), dtype=np.float32)
+    np.add(
+        projection[:, u0c] * cw_left,
+        projection[:, u1c] * cw_right,
+        out=padded[2 : nv + 2],
+    )
+    flat_cols = padded.ravel()
+
+    # Theorem 3 again: v is affine in k with slope p[1,2]·f per column.  The
+    # coordinate is computed in float64 (sub-pixel accuracy), the blend in
+    # float32 — a single rounding per sample, like the reference path.
+    v = (y_base * f).ravel()[None, :] + (p[1, 2] * f).ravel()[None, :] * ks[:, None]
+    v0 = np.floor(v)
+    dv = (v - v0).astype(np.float32)
+    dtype = _gather_dtype((nv + 4) * n_cols)
+    index = _padded_index(v0, nv, dtype)
+    index *= n_cols
+    index += np.arange(n_cols, dtype=dtype)[None, :]
+    sample_low = flat_cols.take(index)
+    index += n_cols
+    sample_high = flat_cols.take(index)
+    sample_low *= 1.0 - dv
+    sample_high *= dv
+    sample_low += sample_high
+    out_block += sample_low.reshape(n_k, n_y, n_x)
+
+
+def accumulate_standard_block(
+    out_block: np.ndarray,
+    projection: np.ndarray,
+    p: np.ndarray,
+    ks: np.ndarray,
+    i_grid: np.ndarray,
+    j_grid: np.ndarray,
+) -> None:
+    """Fused Algorithm 2 update of one ``(K, By, Nx)`` block.
+
+    Three inner products per voxel (no hoisting — this is the standard
+    scheme), with the bilinear fetch done as four masked flat gathers fused
+    with the ``Wdis`` weighting.
+    """
+    nv, nu = projection.shape
+    n_k = len(ks)
+    n_y, n_x = i_grid.shape
+    x_base = p[0, 0] * i_grid + p[0, 1] * j_grid + p[0, 3]
+    y_base = p[1, 0] * i_grid + p[1, 1] * j_grid + p[1, 3]
+    z_base = p[2, 0] * i_grid + p[2, 1] * j_grid + p[2, 3]
+    kcol = ks[:, None, None]
+    # Coordinates in float64 (sub-pixel accuracy); weights and samples in
+    # float32, matching the single rounding per sample of the reference.
+    x = x_base[None, :, :] + p[0, 2] * kcol
+    y = y_base[None, :, :] + p[1, 2] * kcol
+    z = z_base[None, :, :] + p[2, 2] * kcol
+    f = 1.0 / z
+    u = x * f
+    v = y * f
+    w = (f * f).astype(np.float32)
+
+    # The projection is embedded in a plane with two zero rows/columns on
+    # every side, so all four bilinear neighbours resolve by arithmetic
+    # alone — out-of-detector fetches land on stored zeros, no masks.
+    width = nu + 4
+    plane = np.zeros((nv + 4, width), dtype=np.float32)
+    plane[2 : nv + 2, 2 : nu + 2] = projection
+    flat_plane = plane.ravel()
+
+    u0 = np.floor(u)
+    v0 = np.floor(v)
+    du = (u - u0).astype(np.float32)
+    dv = (v - v0).astype(np.float32)
+    dtype = _gather_dtype((nv + 4) * width)
+    index = _padded_index(v0, nv, dtype)
+    index *= width
+    index += _padded_index(u0, nu, dtype)
+    p00 = flat_plane.take(index)
+    index += 1
+    p10 = flat_plane.take(index)
+    index += width
+    p11 = flat_plane.take(index)
+    index -= 1
+    p01 = flat_plane.take(index)
+
+    t1 = p00 * (1.0 - du) + p10 * du
+    t2 = p01 * (1.0 - du) + p11 * du
+    out_block += w * (t1 * (1.0 - dv) + t2 * dv)
+
+
+_BLOCK_KERNELS = {
+    "proposed": accumulate_proposed_block,
+    "standard": accumulate_standard_block,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Accumulator and backend
+# --------------------------------------------------------------------------- #
+class _VectorizedAccumulator(VolumeAccumulator):
+    """Whole-slab accumulation: one fused block update per projection."""
+
+    def __init__(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+    ):
+        super().__init__(
+            geometry, algorithm=algorithm, z_range=z_range, use_symmetry=use_symmetry
+        )
+        self._out = np.zeros(
+            (self.nz_local, geometry.ny, geometry.nx), dtype=DEFAULT_DTYPE
+        )
+        self._ks = np.arange(self.z_range[0], self.z_range[1], dtype=np.float64)
+        self._kernel = _BLOCK_KERNELS[self.algorithm]
+
+    def add(self, projection: np.ndarray, angle: float) -> None:
+        projection = np.asarray(projection, dtype=DEFAULT_DTYPE)
+        self._validate(projection)
+        pm = self.geometry.projection_matrix(float(angle))
+        j_grid, i_grid = _index_grids(self.geometry.ny, self.geometry.nx)
+        self._kernel(self._out, projection, pm.matrix, self._ks, i_grid, j_grid)
+
+    def volume(self) -> Volume:
+        return Volume(
+            data=self._out.copy(), voxel_pitch=self.geometry.voxel_pitch
+        )
+
+    def reset(self) -> None:
+        self._out.fill(0)
+
+
+class VectorizedBackend(ComputeBackend):
+    """Fully batched NumPy execution of the FDK hot paths."""
+
+    name = "vectorized"
+
+    def apply_filter(
+        self, rows: np.ndarray, response: np.ndarray, tau: float
+    ) -> np.ndarray:
+        return rfft_ramp_filter(rows, response, tau)
+
+    def accumulator(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        k_chunk: int = 32,  # noqa: ARG002 - whole-slab batching ignores chunking
+    ) -> VolumeAccumulator:
+        return _VectorizedAccumulator(
+            geometry, algorithm=algorithm, z_range=z_range, use_symmetry=use_symmetry
+        )

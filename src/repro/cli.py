@@ -35,6 +35,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .backends import available_backends
 from .bench import TABLE4_PROBLEMS, format_table, paper_reference_table4
 from .core import (
     EllipsoidPhantom,
@@ -70,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="problem spec NuxNvxNp->NxxNyxNz (default: %(default)s)")
     rec.add_argument("--algorithm", choices=("proposed", "standard"), default="proposed")
     rec.add_argument("--ramp-filter", default="ram-lak")
+    rec.add_argument("--backend", choices=available_backends(), default="reference",
+                     help="compute backend for the filter/back-projection hot "
+                          "paths (default: %(default)s)")
     rec.add_argument("--distributed", action="store_true",
                      help="run on the simulated cluster instead of a single node")
     rec.add_argument("--rows", type=int, default=None, help="R of the rank grid")
@@ -97,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", choices=("slo", "fifo"), default="slo",
                        help="scheduling policy (default: %(default)s)")
     serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument("--backend", choices=available_backends(), default="reference",
+                       help="compute backend the cluster's ranks run")
     serve.add_argument("--report", type=Path, default=None,
                        help="write the full JSON service report to this file")
 
@@ -109,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="priority class, 0 = most urgent")
     submit.add_argument("--dataset", default="",
                         help="dataset content key (enables cache reuse)")
+    submit.add_argument("--backend", choices=available_backends(), default="reference",
+                        help="compute backend the cluster's ranks run")
 
     trace = sub.add_parser("trace", help="generate a synthetic workload trace")
     trace.add_argument("--jobs", type=int, default=24)
@@ -131,12 +139,13 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     print(f"forward projecting {problem} ...", file=sys.stderr)
     stack = forward_project_analytic(phantom, geometry)
 
-    report: dict = {"problem": str(problem), "algorithm": args.algorithm}
+    report: dict = {"problem": str(problem), "algorithm": args.algorithm,
+                    "backend": args.backend}
     if args.distributed:
         rows = args.rows or 2
         columns = args.columns or 2
         config = IFDKConfig(geometry=geometry, rows=rows, columns=columns,
-                            ramp_filter=args.ramp_filter)
+                            ramp_filter=args.ramp_filter, backend=args.backend)
         result = IFDKFramework(config).reconstruct(stack)
         volume = result.volume
         report.update(
@@ -150,7 +159,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         )
     else:
         reconstructor = FDKReconstructor(
-            geometry=geometry, ramp_filter=args.ramp_filter, algorithm=args.algorithm
+            geometry=geometry, ramp_filter=args.ramp_filter,
+            algorithm=args.algorithm, backend=args.backend,
         )
         fdk = reconstructor.reconstruct(stack)
         volume = fdk.volume
@@ -227,6 +237,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gpus,
         policy=args.policy,
         admission=AdmissionPolicy(max_depth=args.max_queue_depth),
+        backend=args.backend,
     )
     report = service.replay(trace)
     print(_format_service_report(report))
@@ -238,7 +249,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     problem = problem_from_string(args.problem)
-    service = ReconstructionService(args.gpus, policy="slo")
+    service = ReconstructionService(args.gpus, policy="slo", backend=args.backend)
     job = ReconstructionJob(
         problem=problem,
         tenant="cli",

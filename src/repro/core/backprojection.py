@@ -308,7 +308,10 @@ class BackProjector:
 
     The distributed pipeline creates one instance per rank (the paper's
     BP-thread) and calls :meth:`accumulate` once per batch of filtered
-    projections it receives from the AllGather step.
+    projections it receives from the AllGather step.  The voxel-update loop
+    itself is delegated to the selected :mod:`repro.backends` compute
+    backend; ``reference`` reproduces this module's accumulation functions
+    exactly.
     """
 
     #: Supported algorithm names.
@@ -322,11 +325,14 @@ class BackProjector:
         z_range: Optional[Tuple[int, int]] = None,
         use_symmetry: bool = True,
         k_chunk: int = 32,
+        backend: str = "reference",
     ):
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
             )
+        from ..backends import get_backend  # late import: backends import core
+
         self.geometry = geometry
         self.algorithm = algorithm
         self.use_symmetry = use_symmetry
@@ -335,17 +341,15 @@ class BackProjector:
         z_start, z_stop = self.z_range
         if not (0 <= z_start < z_stop <= geometry.nz):
             raise ValueError(f"invalid z_range {z_range} for Nz={geometry.nz}")
-        nz_local = z_stop - z_start
-        if algorithm == "proposed":
-            self._kmajor = np.zeros(
-                (geometry.nx, geometry.ny, nz_local), dtype=DEFAULT_DTYPE
-            )
-            self._imajor = None
-        else:
-            self._imajor = np.zeros(
-                (nz_local, geometry.ny, geometry.nx), dtype=DEFAULT_DTYPE
-            )
-            self._kmajor = None
+        engine_backend = get_backend(backend)
+        self.backend = engine_backend.name
+        self._engine = engine_backend.accumulator(
+            geometry,
+            algorithm=algorithm,
+            z_range=self.z_range,
+            use_symmetry=use_symmetry,
+            k_chunk=self.k_chunk,
+        )
         self.projections_processed = 0
         self.updates_performed = 0
 
@@ -361,43 +365,17 @@ class BackProjector:
             raise ValueError("number of projections and angles must match")
         nz_local = self.z_range[1] - self.z_range[0]
         for angle, projection in zip(angles, projections):
-            pm = self.geometry.projection_matrix(float(angle))
-            if self.algorithm == "proposed":
-                accumulate_proposed(
-                    self._kmajor,
-                    np.ascontiguousarray(projection.T),
-                    pm,
-                    z_range=self.z_range,
-                    k_chunk=self.k_chunk,
-                    use_symmetry=self.use_symmetry,
-                )
-            else:
-                accumulate_standard(
-                    self._imajor,
-                    projection,
-                    pm,
-                    z_range=self.z_range,
-                    k_chunk=self.k_chunk,
-                )
+            self._engine.add(projection, float(angle))
             self.projections_processed += 1
             self.updates_performed += nz_local * self.geometry.ny * self.geometry.nx
 
     def volume(self) -> Volume:
         """Return the accumulated sub-volume in the i-major layout."""
-        if self.algorithm == "proposed":
-            data = np.ascontiguousarray(
-                self._kmajor.transpose(2, 1, 0), dtype=DEFAULT_DTYPE
-            )
-        else:
-            data = self._imajor.copy()
-        return Volume(data=data, voxel_pitch=self.geometry.voxel_pitch)
+        return self._engine.volume()
 
     def reset(self) -> None:
         """Zero the accumulator (keeps the geometry and configuration)."""
-        if self._kmajor is not None:
-            self._kmajor.fill(0)
-        if self._imajor is not None:
-            self._imajor.fill(0)
+        self._engine.reset()
         self.projections_processed = 0
         self.updates_performed = 0
 

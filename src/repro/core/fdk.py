@@ -16,8 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from .backprojection import backproject_proposed, backproject_standard
-from .filtering import RAMP_FILTERS, fdk_weight_and_filter
+from .filtering import RAMP_FILTERS
 from .geometry import CBCTGeometry
 from .types import ProjectionStack, ReconstructionProblem, Volume
 
@@ -58,6 +57,10 @@ class FDKReconstructor:
         ``"standard"`` (Algorithm 2).
     z_range:
         Optional Z slab to reconstruct (used by the distributed framework).
+    backend:
+        Name of the :mod:`repro.backends` compute backend executing both hot
+        paths (``reference``, ``vectorized`` or ``blocked``); all backends
+        are interchangeable per the conformance contract.
     """
 
     geometry: CBCTGeometry
@@ -65,6 +68,7 @@ class FDKReconstructor:
     algorithm: str = "proposed"
     z_range: Optional[Tuple[int, int]] = None
     use_symmetry: bool = True
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.ramp_filter not in RAMP_FILTERS:
@@ -73,22 +77,24 @@ class FDKReconstructor:
             )
         if self.algorithm not in ("proposed", "standard"):
             raise ValueError("algorithm must be 'proposed' or 'standard'")
+        from ..backends import get_backend  # late import: backends import core
+
+        self._backend = get_backend(self.backend)
 
     # ------------------------------------------------------------------ #
     def filter(self, stack: ProjectionStack) -> ProjectionStack:
         """Run the filtering stage (Algorithm 1 with FDK normalization)."""
-        return fdk_weight_and_filter(stack, self.geometry, self.ramp_filter)
+        return self._backend.filter_stack(stack, self.geometry, self.ramp_filter)
 
     def backproject(self, filtered: ProjectionStack) -> Volume:
         """Run the back-projection stage on already-filtered projections."""
-        if self.algorithm == "proposed":
-            return backproject_proposed(
-                filtered,
-                self.geometry,
-                z_range=self.z_range,
-                use_symmetry=self.use_symmetry,
-            )
-        return backproject_standard(filtered, self.geometry, z_range=self.z_range)
+        return self._backend.backproject(
+            filtered,
+            self.geometry,
+            algorithm=self.algorithm,
+            z_range=self.z_range,
+            use_symmetry=self.use_symmetry,
+        )
 
     def reconstruct(self, stack: ProjectionStack) -> FDKResult:
         """Full FDK reconstruction of a projection stack."""
@@ -123,9 +129,11 @@ def reconstruct_fdk(
     *,
     ramp_filter: str = "ram-lak",
     algorithm: str = "proposed",
+    backend: str = "reference",
 ) -> Volume:
     """One-call FDK reconstruction (filter + back-project)."""
     reconstructor = FDKReconstructor(
-        geometry=geometry, ramp_filter=ramp_filter, algorithm=algorithm
+        geometry=geometry, ramp_filter=ramp_filter, algorithm=algorithm,
+        backend=backend,
     )
     return reconstructor.reconstruct(stack).volume

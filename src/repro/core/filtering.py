@@ -250,12 +250,17 @@ class FilteringStage:
         window: str = "ram-lak",
         *,
         apply_fdk_scale: bool = True,
+        backend: str = "reference",
     ):
         if window not in RAMP_FILTERS:
             raise ValueError(f"unknown ramp filter window {window!r}")
+        from ..backends import get_backend  # late import: backends import core
+
         self.geometry = geometry
         self.window = window
         self.apply_fdk_scale = apply_fdk_scale
+        self._backend = get_backend(backend)
+        self.backend = self._backend.name
         self._fcos = cosine_weight_table(geometry)
         self._tau = geometry.du * geometry.sad / geometry.sdd
         self._response = ramp_filter_frequency_response(geometry.nu, self._tau, window)
@@ -274,9 +279,7 @@ class FilteringStage:
                 f"({self.geometry.nv}, {self.geometry.nu})"
             )
         weighted = projections * self._fcos[None, :, :]
-        filtered = apply_ramp_filter(
-            weighted, self._tau, self.window, response=self._response
-        )
+        filtered = self._backend.apply_filter(weighted, self._response, self._tau)
         if self._scale != 1.0:
             filtered = filtered * DEFAULT_DTYPE(self._scale)
         self.projections_filtered += projections.shape[0]

@@ -84,6 +84,9 @@ class IFDKConfig:
         the paper's proposed kernel and the default.
     ramp_filter:
         Ramp-filter window used by the filtering stage.
+    backend:
+        Name of the :mod:`repro.backends` compute backend every rank uses
+        for its filtering and back-projection numerics.
     projection_batch:
         Projections staged per device batch (``N_batch`` = 32 in Listing 1).
     device:
@@ -96,10 +99,14 @@ class IFDKConfig:
     gpus_per_node: int = 4
     kernel: str = "L1-Tran"
     ramp_filter: str = "ram-lak"
+    backend: str = "reference"
     projection_batch: int = DEFAULT_PROJECTION_BATCH
     device: DeviceSpec = TESLA_V100
 
     def __post_init__(self) -> None:
+        from ..backends import get_backend  # late import: backends import core
+
+        get_backend(self.backend)  # raises ValueError on unknown names
         if self.rows <= 0 or self.columns <= 0:
             raise ValueError("rows and columns must be positive")
         if self.gpus_per_node <= 0:

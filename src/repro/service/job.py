@@ -76,6 +76,7 @@ class ReconstructionJob:
 
     # Filled in by the service / scheduler.
     state: JobState = JobState.PENDING
+    backend: str = "reference"
     estimated_seconds: Optional[float] = None
     start_seconds: Optional[float] = None
     finish_seconds: Optional[float] = None
@@ -83,6 +84,8 @@ class ReconstructionJob:
     rows: Optional[int] = None
     columns: Optional[int] = None
     cache_hit: bool = False
+    filter_seconds: Optional[float] = None
+    backprojection_seconds: Optional[float] = None
     rejection_reason: Optional[str] = None
     sequence: int = field(default_factory=lambda: next(_job_counter))
 
@@ -137,13 +140,17 @@ class ReconstructionJob:
         self.state = JobState.QUEUED
 
     def mark_running(self, now: float, *, gpus: int, rows: int, columns: int,
-                     cache_hit: bool) -> None:
+                     cache_hit: bool,
+                     filter_seconds: Optional[float] = None,
+                     backprojection_seconds: Optional[float] = None) -> None:
         self.state = JobState.RUNNING
         self.start_seconds = now
         self.gpus = gpus
         self.rows = rows
         self.columns = columns
         self.cache_hit = cache_hit
+        self.filter_seconds = filter_seconds
+        self.backprojection_seconds = backprojection_seconds
 
     def mark_completed(self, now: float) -> None:
         self.state = JobState.COMPLETED
@@ -173,6 +180,9 @@ class ReconstructionJob:
             "grid": (f"{self.rows}x{self.columns}"
                      if self.rows and self.columns else None),
             "cache_hit": self.cache_hit,
+            "backend": self.backend,
+            "filter_s": self.filter_seconds,
+            "backprojection_s": self.backprojection_seconds,
             "rejection_reason": self.rejection_reason,
         }
 

@@ -10,7 +10,9 @@ service operator watches:
   attainment;
 * queueing — mean and peak queue depth;
 * cache — hit rate of the filtered-projection cache;
-* utilization — busy GPU-seconds over cluster capacity.
+* utilization — busy GPU-seconds over cluster capacity;
+* stage split — aggregate filtering vs back-projection seconds across
+  completed jobs (the ``FDKResult``-level split, surfaced service-wide).
 """
 
 from __future__ import annotations
@@ -112,6 +114,16 @@ class ServiceMetrics:
             "queue_depth_mean": float(np.mean(depths)) if depths else 0.0,
             "queue_depth_max": float(max(depths)) if depths else 0.0,
         }
+        filter_total = sum(j.filter_seconds or 0.0 for j in self.completed)
+        bp_total = sum(j.backprojection_seconds or 0.0 for j in self.completed)
+        out["filter_seconds_total"] = filter_total
+        out["backprojection_seconds_total"] = bp_total
+        # 0.0 (not NaN) when nothing completed: the report must stay valid
+        # JSON for strict parsers even on an all-rejected replay.
+        out["filter_fraction"] = (
+            filter_total / (filter_total + bp_total)
+            if (filter_total + bp_total) > 0 else 0.0
+        )
         if cache is not None:
             out["cache_hit_rate"] = cache.stats.hit_rate
             out["cache_hits"] = float(cache.stats.hits)

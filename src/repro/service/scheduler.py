@@ -75,13 +75,21 @@ class GPUCluster:
 
 @dataclass(frozen=True)
 class AllocationPlan:
-    """One candidate execution of a job: GPU count, grid and predicted time."""
+    """One candidate execution of a job: GPU count, grid and predicted time.
+
+    ``filter_seconds``/``backprojection_seconds`` carry the per-stage split
+    of the Eq. 8-19 breakdown (``T_flt``/``T_bp``), so the service can
+    report how each completed job divided its time between the two hot
+    paths instead of losing that split above ``FDKResult``.
+    """
 
     gpus: int
     rows: int
     columns: int
     runtime_seconds: float
     cache_hit: bool
+    filter_seconds: float = 0.0
+    backprojection_seconds: float = 0.0
 
     def finish_at(self, start: float) -> float:
         return start + self.runtime_seconds
@@ -146,18 +154,36 @@ class ClusterScheduler:
         the ranks stream already-filtered projections from the PFS, so
         ``T_compute = max(T_load, T_AllGather, T_bp)``.
         """
+        return self.stage_times(problem, rows, columns, cached=cached)[0]
+
+    def stage_times(
+        self,
+        problem: ReconstructionProblem,
+        rows: int,
+        columns: int,
+        *,
+        cached: bool = False,
+    ) -> Tuple[float, float, float]:
+        """``(runtime, T_flt, T_bp)`` for one job on an ``R x C`` grid.
+
+        The filtering term is zero on a cache hit — the stage never runs —
+        which is the per-stage information :class:`AllocationPlan` and the
+        service metrics surface.
+        """
         key = (problem, rows, columns, cached)
         hit = self._runtime_cache.get(key)
         if hit is not None:
             return hit
         breakdown = self.model.breakdown(problem, rows, columns)
+        t_flt = 0.0 if cached else breakdown.t_flt
         if cached:
             t_compute = max(breakdown.t_load, breakdown.t_allgather, breakdown.t_bp)
             seconds = t_compute + breakdown.t_post
         else:
             seconds = breakdown.t_runtime
-        self._runtime_cache[key] = seconds
-        return seconds
+        times = (seconds, t_flt, breakdown.t_bp)
+        self._runtime_cache[key] = times
+        return times
 
     def _is_cached(self, job: ReconstructionJob) -> bool:
         if self.cache is None:
@@ -178,15 +204,18 @@ class ClusterScheduler:
             except ValueError:
                 rows = columns = 0  # infeasible at this count (memory)
             if rows:
+                runtime, t_flt, t_bp = self.stage_times(
+                    job.problem, rows, columns, cached=cached
+                )
                 plans.append(
                     AllocationPlan(
                         gpus=gpus,
                         rows=rows,
                         columns=columns,
-                        runtime_seconds=self.runtime_seconds(
-                            job.problem, rows, columns, cached=cached
-                        ),
+                        runtime_seconds=runtime,
                         cache_hit=cached,
+                        filter_seconds=t_flt,
+                        backprojection_seconds=t_bp,
                     )
                 )
             gpus *= 2
@@ -255,6 +284,8 @@ class ClusterScheduler:
         job.mark_running(
             now, gpus=plan.gpus, rows=plan.rows, columns=plan.columns,
             cache_hit=cache_hit,
+            filter_seconds=plan.filter_seconds,
+            backprojection_seconds=plan.backprojection_seconds,
         )
         return Placement(job=job, plan=plan, start_seconds=now)
 

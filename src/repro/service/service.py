@@ -42,11 +42,13 @@ class ServiceReport:
     summary: Dict[str, float]
     jobs: List[Dict] = field(default_factory=list)
     description: str = ""
+    backend: str = "reference"
 
     def as_dict(self) -> Dict:
         return {
             "policy": self.policy,
             "cluster_gpus": self.cluster_gpus,
+            "backend": self.backend,
             "description": self.description,
             "summary": self.summary,
             "jobs": self.jobs,
@@ -66,7 +68,11 @@ class ReconstructionService:
         admission: Optional[AdmissionPolicy] = None,
         device: DeviceSpec = TESLA_V100,
         max_gpus_per_job: Optional[int] = None,
+        backend: str = "reference",
     ):
+        from ..backends import get_backend  # late import: backends import core
+
+        self.backend = get_backend(backend).name
         self.cluster = GPUCluster(cluster_gpus, device=device)
         self.cache = cache if cache is not None else FilteredProjectionCache()
         self.scheduler = ClusterScheduler(
@@ -101,6 +107,7 @@ class ReconstructionService:
         """
         now = self.clock_seconds if now is None else now
         job.arrival_seconds = now
+        job.backend = self.backend  # every rank of this cluster runs one backend
         feasibility = self.scheduler.best_plan(job, self.cluster.total_gpus, now)
         if feasibility is None:
             job.mark_rejected(
@@ -218,4 +225,5 @@ class ReconstructionService:
             summary=summary,
             jobs=[job.as_record() for job in jobs],
             description=description,
+            backend=self.backend,
         )

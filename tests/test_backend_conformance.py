@@ -1,0 +1,361 @@
+"""Cross-backend conformance and property tests for the FDK hot paths.
+
+This is the contract that makes every future speed PR safe to land: any
+compute backend registered in :mod:`repro.backends` must reproduce the
+``reference`` backend on a matrix of
+
+    backend x geometry preset x input dtype x Z-slab decomposition
+
+for both back-projection algorithms and for the ramp-filtering stage.
+
+Two tiers of agreement are asserted:
+
+* **tolerance** — every backend agrees with ``reference`` to a relative
+  RMSE of at most ``RMSE_TOL`` (1e-5, per the conformance contract; the
+  NumPy backends actually land around 1e-7);
+* **bit-exact** — backends that share arithmetic and differ only in
+  traversal order (``blocked`` vs ``vectorized``, any byte budget; slab
+  decompositions of either) must produce *identical* float32 volumes.
+
+On top of the matrix, property-based tests (Hypothesis when available,
+seeded random sweeps otherwise) check the paper's theorem invariants that
+the fast backends' algebraic rearrangements rely on:
+
+* **Theorem 1** — the detector row of the Z-mirrored voxel is the
+  reflection ``v~ = Nv - 1 - v``;
+* **Theorem 2** — the detector column ``u`` is constant along Z;
+* **Theorem 3** — the perspective divisor ``z`` (hence ``1/z`` and the
+  distance weight ``Wdis = 1/z²``) is constant along Z and matches the
+  closed-form expression of Equation 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    BlockedBackend,
+    available_backends,
+    get_backend,
+    plan_tiles,
+)
+from repro.core import CBCTGeometry, FDKReconstructor, default_geometry_for_problem
+from repro.core.types import DEFAULT_DTYPE, ProjectionStack
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is available in CI
+    HAVE_HYPOTHESIS = False
+
+#: Conformance bound: relative RMSE against the reference backend.
+RMSE_TOL = 1e-5
+
+#: Backends that must be bit-identical to each other (shared arithmetic).
+EXACT_FAMILY = ("vectorized", "blocked")
+
+#: Geometry presets: a cube, an anisotropic volume/detector, and an odd-Nz
+#: volume (exercises the unpaired centre slice of the symmetry path).
+GEOMETRY_PRESETS = {
+    "cube16": dict(nu=24, nv=24, np_=8, nx=16, ny=16, nz=16),
+    "aniso": dict(nu=28, nv=20, np_=6, nx=18, ny=14, nz=10),
+    "odd-z": dict(nu=24, nv=26, np_=5, nx=12, ny=12, nz=9),
+}
+
+DTYPES = ("float32", "float64")
+
+#: Z-slab decompositions, as fractions of Nz: the full volume, two halves,
+#: and three deliberately uneven slabs (what a heterogeneous grid produces).
+SLAB_SPLITS = {
+    "full": (1.0,),
+    "halves": (0.5, 0.5),
+    "uneven": (0.25, 0.375, 0.375),
+}
+
+ALGORITHMS = ("proposed", "standard")
+NON_REFERENCE = tuple(n for n in BACKEND_NAMES if n != "reference")
+
+
+def make_geometry(preset: str) -> CBCTGeometry:
+    return default_geometry_for_problem(**GEOMETRY_PRESETS[preset])
+
+
+def make_stack(geometry: CBCTGeometry, dtype: str, *, filtered: bool = True,
+               seed: int = 7) -> ProjectionStack:
+    """A seeded random stack whose raw data is generated in ``dtype``.
+
+    The stack normalizes to float32 (the paper runs single precision
+    everywhere); generating in both dtypes verifies the backends agree on
+    how inputs are coerced, not just on pre-coerced data.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(
+        (geometry.np_, geometry.nv, geometry.nu)
+    ).astype(dtype)
+    return ProjectionStack(data=data, angles=geometry.angles, filtered=filtered)
+
+
+def slab_ranges(nz: int, fractions) -> list:
+    """Concrete ``(z0, z1)`` slabs covering ``[0, nz)`` for the given split."""
+    edges = [0]
+    for fraction in fractions[:-1]:
+        edges.append(edges[-1] + max(1, int(round(nz * fraction))))
+    edges.append(nz)
+    return [(z0, z1) for z0, z1 in zip(edges, edges[1:]) if z1 > z0]
+
+
+def backproject_by_slabs(backend_name: str, stack, geometry, algorithm, fractions):
+    """Back-project slab by slab and stitch, as the distributed ranks do."""
+    backend = get_backend(backend_name)
+    pieces = [
+        backend.backproject(stack, geometry, algorithm=algorithm, z_range=(z0, z1)).data
+        for z0, z1 in slab_ranges(geometry.nz, fractions)
+    ]
+    return np.concatenate(pieces, axis=0)
+
+
+def rel_rmse(result: np.ndarray, reference: np.ndarray) -> float:
+    scale = float(np.abs(reference).max()) or 1.0
+    return float(np.sqrt(np.mean((result.astype(np.float64) - reference) ** 2))) / scale
+
+
+# --------------------------------------------------------------------------- #
+# Shared reference results (one per algorithm x preset x dtype)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def reference_volumes():
+    cache = {}
+
+    def compute(algorithm: str, preset: str, dtype: str) -> np.ndarray:
+        key = (algorithm, preset, dtype)
+        if key not in cache:
+            geometry = make_geometry(preset)
+            stack = make_stack(geometry, dtype)
+            cache[key] = get_backend("reference").backproject(
+                stack, geometry, algorithm=algorithm
+            ).data.astype(np.float64)
+        return cache[key]
+
+    return compute
+
+
+# --------------------------------------------------------------------------- #
+# The conformance matrix
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("slab", sorted(SLAB_SPLITS))
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("preset", sorted(GEOMETRY_PRESETS))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("backend", NON_REFERENCE)
+def test_backproject_matches_reference(
+    backend, algorithm, preset, dtype, slab, reference_volumes
+):
+    geometry = make_geometry(preset)
+    stack = make_stack(geometry, dtype)
+    result = backproject_by_slabs(
+        backend, stack, geometry, algorithm, SLAB_SPLITS[slab]
+    )
+    reference = reference_volumes(algorithm, preset, dtype)
+    assert result.shape == reference.shape
+    assert rel_rmse(result, reference) <= RMSE_TOL
+
+
+@pytest.mark.parametrize("slab", sorted(SLAB_SPLITS))
+@pytest.mark.parametrize("preset", sorted(GEOMETRY_PRESETS))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_reference_slab_decomposition_conforms(
+    algorithm, preset, slab, reference_volumes
+):
+    """Reference's own slab stitching stays within tolerance of its full run.
+
+    (The proposed algorithm's symmetry pairing differs per slab, so this is
+    a tolerance bound, not bit-exactness — exactly Theorem 1's claim.)
+    """
+    geometry = make_geometry(preset)
+    stack = make_stack(geometry, "float32")
+    result = backproject_by_slabs(
+        "reference", stack, geometry, algorithm, SLAB_SPLITS[slab]
+    )
+    assert rel_rmse(result, reference_volumes(algorithm, preset, "float32")) <= RMSE_TOL
+
+
+@pytest.mark.parametrize("budget", [1 << 14, 1 << 18, 1 << 25])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_blocked_is_bit_exact_with_vectorized(algorithm, budget):
+    """Any tile size must reproduce the vectorized volume bit for bit."""
+    geometry = make_geometry("aniso")
+    stack = make_stack(geometry, "float32")
+    vectorized = get_backend("vectorized").backproject(
+        stack, geometry, algorithm=algorithm
+    ).data
+    blocked = BlockedBackend(byte_budget=budget).backproject(
+        stack, geometry, algorithm=algorithm
+    ).data
+    np.testing.assert_array_equal(blocked, vectorized)
+
+
+@pytest.mark.parametrize("slab", ["halves", "uneven"])
+@pytest.mark.parametrize("backend", EXACT_FAMILY)
+def test_exact_family_slab_decomposition_is_bit_exact(backend, slab):
+    """Direct Z evaluation makes slab stitching lossless for the fast family."""
+    geometry = make_geometry("odd-z")
+    stack = make_stack(geometry, "float32")
+    full = get_backend(backend).backproject(stack, geometry, algorithm="proposed").data
+    stitched = backproject_by_slabs(
+        backend, stack, geometry, "proposed", SLAB_SPLITS[slab]
+    )
+    np.testing.assert_array_equal(stitched, full)
+
+
+# --------------------------------------------------------------------------- #
+# Filtering conformance
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("window", ["ram-lak", "hann"])
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("preset", sorted(GEOMETRY_PRESETS))
+@pytest.mark.parametrize("backend", NON_REFERENCE)
+def test_filter_matches_reference(backend, preset, dtype, window):
+    geometry = make_geometry(preset)
+    raw = make_stack(geometry, dtype, filtered=False)
+    reference = get_backend("reference").filter_stack(raw, geometry, window).data
+    result = get_backend(backend).filter_stack(raw, geometry, window).data
+    assert rel_rmse(result, reference.astype(np.float64)) <= RMSE_TOL
+
+
+def test_blocked_filter_is_bit_exact_with_vectorized():
+    geometry = make_geometry("cube16")
+    raw = make_stack(geometry, "float32", filtered=False)
+    vectorized = get_backend("vectorized").filter_stack(raw, geometry).data
+    for budget in (1 << 12, 1 << 20):
+        blocked = BlockedBackend(byte_budget=budget).filter_stack(raw, geometry).data
+        np.testing.assert_array_equal(blocked, vectorized)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end through FDKReconstructor (the seam every layer uses)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", NON_REFERENCE)
+def test_fdk_reconstructor_backend_conforms(backend, small_projections, small_geometry):
+    reference = FDKReconstructor(geometry=small_geometry).reconstruct(
+        small_projections.copy()
+    )
+    result = FDKReconstructor(geometry=small_geometry, backend=backend).reconstruct(
+        small_projections.copy()
+    )
+    assert rel_rmse(
+        result.volume.data, reference.volume.data.astype(np.float64)
+    ) <= RMSE_TOL
+
+
+@pytest.mark.parametrize("backend", NON_REFERENCE)
+def test_backprojector_streaming_seam_conforms(backend):
+    """The BackProjector (the rank runtime's BP thread) honours backends."""
+    from repro.core.backprojection import BackProjector
+
+    geometry = make_geometry("aniso")
+    stack = make_stack(geometry, "float32")
+    z_range = (2, 8)
+    results = {}
+    for name in ("reference", backend):
+        projector = BackProjector(
+            geometry, algorithm="proposed", z_range=z_range, backend=name
+        )
+        for angle, projection in stack:
+            projector.accumulate(projection, angle)
+        assert projector.projections_processed == stack.np_
+        results[name] = projector.volume().data
+    assert rel_rmse(
+        results[backend], results["reference"].astype(np.float64)
+    ) <= RMSE_TOL
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("cuda")
+    assert "reference" in available_backends()
+
+
+def test_plan_tiles_covers_slab_exactly():
+    tiles = plan_tiles(9, 14, 18, 26, byte_budget=1 << 14)
+    covered = np.zeros((9, 14), dtype=int)
+    for z0, z1, y0, y1 in tiles:
+        covered[z0:z1, y0:y1] += 1
+    np.testing.assert_array_equal(covered, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem invariants (property-based)
+# --------------------------------------------------------------------------- #
+def random_geometry(rng_or_draw) -> CBCTGeometry:
+    """A small random geometry, from a Hypothesis draw or a numpy RNG."""
+    if isinstance(rng_or_draw, np.random.Generator):
+        rng = rng_or_draw
+        pick = lambda lo, hi: int(rng.integers(lo, hi + 1))  # noqa: E731
+    else:
+        draw = rng_or_draw
+        pick = lambda lo, hi: draw(st.integers(lo, hi))  # noqa: E731
+    return default_geometry_for_problem(
+        nu=pick(8, 40), nv=pick(8, 40), np_=pick(2, 12),
+        nx=pick(4, 24), ny=pick(4, 24), nz=pick(2, 24),
+    )
+
+
+def check_theorem_1_mirror_row(geometry: CBCTGeometry, beta: float) -> None:
+    pm = geometry.projection_matrix(beta)
+    i = np.arange(geometry.nx, dtype=np.float64)[None, :]
+    j = np.arange(geometry.ny, dtype=np.float64)[:, None]
+    for k in range(geometry.nz // 2 + 1):
+        _, v, z = pm.project(i, j, k)
+        _, v_mirror, _ = pm.project(i, j, geometry.nz - 1 - k)
+        np.testing.assert_allclose(
+            v_mirror, (geometry.nv - 1) - v, rtol=0, atol=1e-8 * geometry.nv
+        )
+
+
+def check_theorems_2_3_hoisting(geometry: CBCTGeometry, beta: float) -> None:
+    pm = geometry.projection_matrix(beta)
+    i = np.arange(geometry.nx, dtype=np.float64)[None, :]
+    j = np.arange(geometry.ny, dtype=np.float64)[:, None]
+    u0, _, z0 = pm.project(i, j, 0)
+    # Closed-form divisor of Equation 3 (what the hoisted kernels compute).
+    closed_form = geometry.perspective_divisor(beta, i, j)
+    np.testing.assert_allclose(z0, closed_form, rtol=1e-12, atol=1e-9)
+    for k in (1, geometry.nz // 2, geometry.nz - 1):
+        u, _, z = pm.project(i, j, k)
+        np.testing.assert_allclose(u, u0, rtol=0, atol=1e-9 * geometry.nu)
+        np.testing.assert_allclose(z, z0, rtol=1e-12, atol=1e-9)
+        # Wdis = 1/z² is therefore constant along Z as well (Theorem 3).
+        np.testing.assert_allclose(1.0 / (z * z), 1.0 / (z0 * z0), rtol=1e-9)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), beta=st.floats(0.0, 2.0 * np.pi))
+    def test_theorem_1_mirror_row_reflection(data, beta):
+        check_theorem_1_mirror_row(random_geometry(data.draw), beta)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), beta=st.floats(0.0, 2.0 * np.pi))
+    def test_theorems_2_3_u_z_wdis_constant_along_z(data, beta):
+        check_theorems_2_3_hoisting(random_geometry(data.draw), beta)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_theorem_1_mirror_row_reflection(seed):
+        rng = np.random.default_rng(1000 + seed)
+        check_theorem_1_mirror_row(
+            random_geometry(rng), float(rng.uniform(0.0, 2.0 * np.pi))
+        )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_theorems_2_3_u_z_wdis_constant_along_z(seed):
+        rng = np.random.default_rng(2000 + seed)
+        check_theorems_2_3_hoisting(
+            random_geometry(rng), float(rng.uniform(0.0, 2.0 * np.pi))
+        )

@@ -71,6 +71,25 @@ class TestReconstructCommand:
         assert code == 0
         assert json.loads(capsys.readouterr().out)["algorithm"] == "standard"
 
+    def test_backend_selectable_and_conformant(self, capsys):
+        """--backend threads through and changes nothing observable."""
+        volumes = {}
+        for backend in ("reference", "vectorized", "blocked"):
+            code = main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                         "--backend", backend])
+            assert code == 0
+            printed = json.loads(capsys.readouterr().out)
+            assert printed["backend"] == backend
+            volumes[backend] = (printed["volume_min"], printed["volume_max"])
+        ref_min, ref_max = volumes["reference"]
+        for backend in ("vectorized", "blocked"):
+            assert volumes[backend][0] == pytest.approx(ref_min, abs=1e-5)
+            assert volumes[backend][1] == pytest.approx(ref_max, abs=1e-5)
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["reconstruct", "--backend", "cuda"])
+
     def test_malformed_problem_spec_exits_2(self, capsys):
         assert main(["reconstruct", "--problem", "not-a-problem"]) == 2
         assert "error" in capsys.readouterr().err

@@ -1,0 +1,166 @@
+"""Golden-volume regression test: numerical drift fails loudly.
+
+A 32³ Shepp-Logan reconstruction (with seeded measurement noise) is checked
+into ``tests/data/`` as the canonical output of the reference FDK pipeline.
+Every future PR recomputes it and compares:
+
+* **exact hash** — when the installed NumPy/SciPy versions match the ones
+  recorded at generation time (the containers this repo is developed and
+  gated in), the recomputed volume must be *bit-identical* to the golden
+  one.  Any change to the reference arithmetic — an "innocent" reordering,
+  a dtype slip, a changed FFT pad — trips this immediately.
+* **RMSE bound** — regardless of library versions, the recomputed volume
+  must stay within a tight relative RMSE of the golden one, so the test is
+  still a meaningful drift detector on environments with different FFT
+  builds (where bit-equality is not guaranteed).
+* **backend bound** — the fast backends must also stay inside the
+  conformance tolerance of the golden volume, tying the backend family to
+  a fixed ground truth, not just to each other.
+
+Regenerating the golden file (only after an *intentional* numerical
+change): run this module as a script —
+``PYTHONPATH=src python tests/test_golden_fdk.py`` — and commit the new
+``.npz``/``.json`` pair together with the change that motivated it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import BACKEND_NAMES
+from repro.core import (
+    EllipsoidPhantom,
+    FDKReconstructor,
+    default_geometry_for_problem,
+    forward_project_analytic,
+    shepp_logan_ellipsoids,
+)
+from repro.core.types import ProjectionStack
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_NPZ = DATA_DIR / "golden_fdk_32.npz"
+GOLDEN_META = DATA_DIR / "golden_fdk_32.json"
+
+SEED = 20260729
+NOISE_SIGMA = 1e-3
+
+#: Version-independent drift bound (relative RMSE against the golden volume).
+DRIFT_RMSE_TOL = 1e-6
+#: Conformance bound for the non-reference backends against the golden volume.
+BACKEND_RMSE_TOL = 1e-5
+
+
+def golden_geometry():
+    return default_geometry_for_problem(nu=48, nv=48, np_=24, nx=32, ny=32, nz=32)
+
+
+def golden_stack() -> ProjectionStack:
+    """Deterministic Shepp-Logan projections with seeded Gaussian noise."""
+    geometry = golden_geometry()
+    stack = forward_project_analytic(
+        EllipsoidPhantom(shepp_logan_ellipsoids()), geometry
+    )
+    rng = np.random.default_rng(SEED)
+    return ProjectionStack(
+        data=stack.data
+        + rng.normal(0.0, NOISE_SIGMA, stack.data.shape).astype(np.float32),
+        angles=stack.angles,
+    )
+
+
+def reconstruct(backend: str = "reference") -> np.ndarray:
+    return (
+        FDKReconstructor(geometry=golden_geometry(), backend=backend)
+        .reconstruct(golden_stack())
+        .volume.data
+    )
+
+
+@pytest.fixture(scope="module")
+def golden():
+    volume = np.load(GOLDEN_NPZ)["volume"]
+    meta = json.loads(GOLDEN_META.read_text())
+    assert volume.shape == tuple(meta["shape"])
+    assert str(volume.dtype) == meta["dtype"]
+    # The stored artefact itself must match its recorded hash (catches a
+    # corrupted or half-regenerated checkout before blaming the code).
+    assert hashlib.sha256(volume.tobytes()).hexdigest() == meta["sha256"]
+    return volume, meta
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return reconstruct("reference")
+
+
+def _environment_matches(meta: dict) -> bool:
+    import scipy
+
+    return meta["numpy"] == np.__version__ and meta["scipy"] == scipy.__version__
+
+
+def rel_rmse(a: np.ndarray, b: np.ndarray) -> float:
+    scale = float(np.abs(b).max()) or 1.0
+    return float(np.sqrt(np.mean((a.astype(np.float64) - b) ** 2))) / scale
+
+
+def test_golden_volume_exact_hash(golden, recomputed):
+    volume, meta = golden
+    if not _environment_matches(meta):
+        pytest.skip(
+            f"golden generated with numpy={meta['numpy']} scipy={meta['scipy']}; "
+            "bit-exactness is only contractual on the pinned environment "
+            "(the RMSE test below still guards drift here)"
+        )
+    digest = hashlib.sha256(recomputed.tobytes()).hexdigest()
+    assert digest == meta["sha256"], (
+        "reference FDK output changed bit-for-bit against the golden volume "
+        f"(got {digest}); if the numerical change is intentional, regenerate "
+        "tests/data/golden_fdk_32.* (see module docstring) and say so in the PR"
+    )
+
+
+def test_golden_volume_rmse(golden, recomputed):
+    volume, _ = golden
+    assert recomputed.shape == volume.shape
+    drift = rel_rmse(recomputed, volume)
+    assert drift <= DRIFT_RMSE_TOL, (
+        f"reference FDK output drifted from the golden volume "
+        f"(relative RMSE {drift:.3e} > {DRIFT_RMSE_TOL:.0e})"
+    )
+
+
+@pytest.mark.parametrize(
+    "backend", [n for n in BACKEND_NAMES if n != "reference"]
+)
+def test_backends_track_golden_volume(golden, backend):
+    volume, _ = golden
+    assert rel_rmse(reconstruct(backend), volume) <= BACKEND_RMSE_TOL
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    import scipy
+
+    volume = reconstruct("reference")
+    DATA_DIR.mkdir(exist_ok=True)
+    np.savez_compressed(GOLDEN_NPZ, volume=volume)
+    meta = {
+        "sha256": hashlib.sha256(volume.tobytes()).hexdigest(),
+        "dtype": str(volume.dtype),
+        "shape": list(volume.shape),
+        "problem": "48x48x24->32x32x32",
+        "seed": SEED,
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
+    GOLDEN_META.write_text(json.dumps(meta, indent=2) + "\n")
+    print(f"regenerated {GOLDEN_NPZ} ({meta['sha256']})")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

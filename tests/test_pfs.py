@@ -149,3 +149,105 @@ class TestVolumeIO:
     def test_modelled_store_seconds(self):
         pfs = SimulatedPFS()
         assert modelled_store_seconds(pfs, 256 * 10**9) == pytest.approx(9.0, rel=0.02)
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: round-trips across dtypes and memory layouts
+# --------------------------------------------------------------------------- #
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    from hypothesis.extra import numpy as hnp
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is available in CI
+    HAVE_HYPOTHESIS = False
+
+ROUNDTRIP_DTYPES = ("float32", "float64", "float16", "int32", "uint16", "int8")
+
+
+def _assert_lossless_roundtrip(array: np.ndarray) -> None:
+    """write_array/read_array must preserve dtype, shape and every byte."""
+    pfs = SimulatedPFS()
+    pfs.write_array("obj", array)
+    out = pfs.read_array("obj")
+    assert out.dtype == array.dtype
+    assert out.shape == array.shape
+    np.testing.assert_array_equal(out, array)
+    assert out.flags["C_CONTIGUOUS"]  # reads hand back clean dense arrays
+
+
+def _strided_views(array: np.ndarray):
+    """Non-contiguous views of ``array``: transposed, reversed, sliced."""
+    views = [array.T]
+    if array.ndim >= 1 and array.shape[0] > 1:
+        views.append(array[::-1])
+        views.append(array[::2])
+    if array.ndim >= 2 and array.shape[1] > 1:
+        views.append(array[:, ::-1])
+    return views
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dtype=st.sampled_from(ROUNDTRIP_DTYPES),
+        shape=st.lists(st.integers(1, 7), min_size=1, max_size=3).map(tuple),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_pfs_array_roundtrip_property(dtype, shape, seed):
+        rng = np.random.default_rng(seed)
+        array = (rng.random(shape) * 100 - 50).astype(dtype)
+        _assert_lossless_roundtrip(array)
+        for view in _strided_views(array):
+            _assert_lossless_roundtrip(view)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("dtype", ROUNDTRIP_DTYPES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pfs_array_roundtrip_property(dtype, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(1, 8, size=rng.integers(1, 4)))
+        array = (rng.random(shape) * 100 - 50).astype(dtype)
+        _assert_lossless_roundtrip(array)
+        for view in _strided_views(array):
+            _assert_lossless_roundtrip(view)
+
+
+class TestRoundtripLayouts:
+    """Projection/volume I/O round-trips on awkward inputs."""
+
+    def test_projection_dataset_roundtrip_noncontiguous(self, rng):
+        """A Fortran-ordered float64 acquisition survives the PFS unchanged."""
+        data64 = np.asfortranarray(rng.random((5, 6, 8)))  # float64, F-order
+        stack = ProjectionStack(data=data64, angles=np.linspace(0, 1, 5))
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, stack)
+        out = read_projection_subset(pfs, range(5))
+        assert out.data.dtype == np.float32  # the stack normalizes to FP32
+        np.testing.assert_array_equal(out.data, stack.data)
+        np.testing.assert_array_equal(out.angles, stack.angles)
+
+    def test_projection_subset_order_and_duplicates(self, rng):
+        stack = ProjectionStack(
+            data=rng.random((6, 4, 4)).astype(np.float32),
+            angles=np.arange(6, dtype=np.float64),
+        )
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, stack)
+        out = read_projection_subset(pfs, [4, 1, 1])
+        np.testing.assert_array_equal(out.angles, [4.0, 1.0, 1.0])
+        np.testing.assert_array_equal(out.data[1], out.data[2])
+        np.testing.assert_array_equal(out.data[0], stack.data[4])
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    @pytest.mark.parametrize("slices_per_file", [1, 3, 8])
+    def test_volume_roundtrip_dtypes_and_striping(self, rng, dtype, slices_per_file):
+        data = rng.random((8, 5, 7)).astype(dtype)[:, ::-1]  # non-contiguous
+        pfs = SimulatedPFS()
+        write_volume_slices(pfs, "vol", data, slices_per_file=slices_per_file)
+        out = read_volume(pfs, "vol")
+        # Volume normalizes to FP32; the bytes must survive the trip exactly.
+        np.testing.assert_array_equal(out.data, data.astype(np.float32))

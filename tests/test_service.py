@@ -424,6 +424,50 @@ class TestReconstructionService:
         assert report.summary["jobs_completed"] == 5
         assert len(report.jobs) == 5
 
+    def test_stage_timings_surface_in_jobs_and_summary(self):
+        """The filter/back-projection split must survive up to ServiceMetrics."""
+        trace = synthetic_trace(10, cluster_gpus=8, seed=3, n_datasets=2)
+        service = ReconstructionService(8)
+        report = service.replay(trace)
+        done = [j for j in report.jobs if j["state"] == "completed"]
+        assert done
+        for job in done:
+            assert job["backprojection_s"] > 0
+            # A cache hit skips filtering entirely; a miss pays T_flt.
+            if job["cache_hit"]:
+                assert job["filter_s"] == 0.0
+            else:
+                assert job["filter_s"] > 0
+        summary = report.summary
+        assert summary["backprojection_seconds_total"] == pytest.approx(
+            sum(j["backprojection_s"] for j in done)
+        )
+        assert summary["filter_seconds_total"] == pytest.approx(
+            sum(j["filter_s"] for j in done)
+        )
+        assert 0.0 < summary["filter_fraction"] < 1.0
+
+    def test_stage_timings_match_model_breakdown(self):
+        service = ReconstructionService(4)
+        job = make_job(SMALL)
+        assert service.submit(job)
+        service.run_until_idle()
+        breakdown = service.scheduler.model.breakdown(job.problem, job.rows, job.columns)
+        assert job.filter_seconds == pytest.approx(breakdown.t_flt)
+        assert job.backprojection_seconds == pytest.approx(breakdown.t_bp)
+
+    def test_service_backend_is_stamped_on_jobs_and_report(self):
+        service = ReconstructionService(8, backend="vectorized")
+        job = make_job(SMALL)
+        assert service.submit(job)
+        service.run_until_idle()
+        assert job.backend == "vectorized"
+        report = service.report()
+        assert report.backend == "vectorized"
+        assert report.as_dict()["backend"] == "vectorized"
+        with pytest.raises(ValueError, match="unknown backend"):
+            ReconstructionService(8, backend="nope")
+
 
 # --------------------------------------------------------------------------- #
 # CLI surface of the service
