@@ -1,0 +1,72 @@
+"""Short-scan reconstruction with Parker redundancy weighting.
+
+Simulates an ideal full-2π Shepp-Logan acquisition, replays it through the
+``short_scan`` acquisition scenario (only the leading ``π + 2Δ`` of the
+sweep survives, as if the gantry had stopped early), reconstructs both
+with the vectorized backend and compares image quality against the
+rasterized phantom — demonstrating that the Parker weights recover
+full-scan-grade images from ~65% of the projections (and hence ~65% of
+the dose and the scan time).
+
+Run with:  PYTHONPATH=src python examples/short_scan.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    EllipsoidPhantom,
+    FDKReconstructor,
+    default_geometry_for_problem,
+    forward_project_analytic,
+    shepp_logan_3d,
+    shepp_logan_ellipsoids,
+)
+from repro.scenarios import available_scenarios, get_scenario, reconstruct_scenario
+
+
+def rel_rmse(volume: np.ndarray, truth: np.ndarray) -> float:
+    scale = float(np.abs(truth).max())
+    return float(np.sqrt(np.mean((volume - truth) ** 2))) / scale
+
+
+def main() -> None:
+    base = default_geometry_for_problem(nu=96, nv=96, np_=96, nx=64, ny=64, nz=64)
+    phantom = EllipsoidPhantom(shepp_logan_ellipsoids())
+    truth = shepp_logan_3d(base.nx, base.ny, base.nz).data
+
+    print(f"simulating ideal full scan: {base.np_} projections over 2π ...")
+    ideal = forward_project_analytic(phantom, base)
+
+    full = FDKReconstructor(geometry=base, backend="vectorized").reconstruct(ideal)
+
+    scenario = get_scenario("short_scan")
+    geometry, scan = scenario.apply(base, ideal)
+    span_deg = np.degrees(geometry.angular_range)
+    print(
+        f"short scan keeps {geometry.np_}/{base.np_} projections "
+        f"({span_deg:.1f}° = 180° + 2·{np.degrees(base.fan_angle):.1f}° fan)"
+    )
+
+    # The Parker table: per-(projection, column) weights whose conjugate
+    # ray pairs sum to one.  It rides into the filtering stage of every
+    # backend via FDKReconstructor(scenario=...).
+    table = scenario.redundancy_weights(geometry)
+    print(f"Parker weight table: shape {table.shape}, "
+          f"range [{table.min():.3f}, {table.max():.3f}]")
+
+    short = reconstruct_scenario("short_scan", base, ideal, backend="vectorized")
+
+    full_rmse = rel_rmse(full.volume.data, truth)
+    short_rmse = rel_rmse(short.volume.data, truth)
+    print(f"\n{'scan':>12s} {'projections':>12s} {'rel RMSE':>10s}")
+    print(f"{'full 2π':>12s} {base.np_:>12d} {full_rmse:>10.4f}")
+    print(f"{'short':>12s} {geometry.np_:>12d} {short_rmse:>10.4f}")
+    print(f"\nshort-scan RMSE is {short_rmse / full_rmse:.2f}x the full scan's "
+          f"with {geometry.np_ / base.np_:.0%} of the dose")
+    print(f"\nall presets: {', '.join(available_scenarios())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,11 +35,15 @@ Sub-packages
     Reconstruction-as-a-service: multi-tenant job queue with admission
     control, SLO-aware GPU cluster scheduling over the performance model,
     and a content-keyed cache of filtered projections.
+``repro.scenarios``
+    Acquisition scenarios: declarative short-scan, offset-detector,
+    sparse-view and noisy protocols with redundancy weighting, locked
+    down by the scenario × backend conformance matrix.
 """
 
-from . import backends, bench, core, gpusim, mpi, pfs, pipeline, service
+from . import backends, bench, core, gpusim, mpi, pfs, pipeline, scenarios, service
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "backends",
@@ -49,6 +53,7 @@ __all__ = [
     "mpi",
     "pfs",
     "pipeline",
+    "scenarios",
     "service",
     "__version__",
 ]

@@ -58,6 +58,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.filtering import (
+    broadcast_redundancy_table,
     cosine_weight_table,
     fdk_normalization,
     ramp_filter_frequency_response,
@@ -175,8 +176,17 @@ class ComputeBackend(abc.ABC):
         window: str = "ram-lak",
         *,
         apply_fdk_scale: bool = True,
+        redundancy: Optional[np.ndarray] = None,
     ) -> ProjectionStack:
-        """Algorithm 1 on a whole stack: cosine weight, ramp filter, scale."""
+        """Algorithm 1 on a whole stack: cosine weight, ramp filter, scale.
+
+        ``redundancy`` is an optional ``(Np, Nu)`` per-projection
+        ray-redundancy table from an acquisition scenario (short-scan
+        Parker weights, offset-detector weights).  It is applied here, in
+        the shared driver, so every backend consumes the identical weighted
+        input — scenario handling can never diverge between backends, and
+        row/tile blocking stays bit-exact.
+        """
         if stack.nu != geometry.nu or stack.nv != geometry.nv:
             raise ValueError(
                 f"projection stack ({stack.nv}x{stack.nu}) does not match detector "
@@ -186,6 +196,11 @@ class ComputeBackend(abc.ABC):
         tau = geometry.du * geometry.sad / geometry.sdd
         response = ramp_filter_frequency_response(geometry.nu, tau, window)
         weighted = stack.data * fcos[None, :, :]
+        if redundancy is not None:
+            weighted = (
+                weighted
+                * broadcast_redundancy_table(redundancy, stack.np_, stack.nu)
+            ).astype(DEFAULT_DTYPE, copy=False)
         filtered = self.apply_filter(weighted, response, tau)
         if apply_fdk_scale:
             filtered = filtered * DEFAULT_DTYPE(fdk_normalization(geometry))
@@ -225,10 +240,16 @@ class ComputeBackend(abc.ABC):
         algorithm: str = "proposed",
         window: str = "ram-lak",
         z_range: Optional[Tuple[int, int]] = None,
+        redundancy: Optional[np.ndarray] = None,
     ) -> Volume:
         """Full FDK (filter + back-project) on this backend."""
+        if stack.filtered and redundancy is not None:
+            raise ValueError(
+                "redundancy weights are applied in the filtering stage, but "
+                "this stack is already filtered"
+            )
         filtered = stack if stack.filtered else self.filter_stack(
-            stack, geometry, window
+            stack, geometry, window, redundancy=redundancy
         )
         return self.backproject(
             filtered, geometry, algorithm=algorithm, z_range=z_range

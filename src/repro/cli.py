@@ -1,11 +1,15 @@
 """Command-line interface for the iFDK reproduction.
 
-Six subcommands cover the workflows a downstream user needs:
+Seven subcommands cover the workflows a downstream user needs:
 
 ``reconstruct``
     Synthesize Shepp-Logan projections for a given problem size and run the
     FDK pipeline — single-node or distributed on the simulated cluster —
-    writing the volume (as ``.npy``) and a JSON report.
+    writing the volume (as ``.npy``) and a JSON report.  ``--scenario``
+    replays the acquisition through a non-ideal protocol (short-scan,
+    offset-detector, sparse-view, noisy) before reconstructing.
+``scenarios``
+    List the registered acquisition-scenario presets.
 ``predict``
     Evaluate the Eq. 8-19 performance model for a problem / GPU count and
     print the runtime breakdown (the Figure 5 stacked bars as text).
@@ -47,6 +51,7 @@ from .core import (
 from .core.types import problem_from_string
 from .gpusim import KERNEL_VARIANTS, BackprojectionCostModel, TESLA_V100
 from .pipeline import IFDKConfig, IFDKFramework, IFDKPerformanceModel, choose_grid
+from .scenarios import available_scenarios, get_scenario
 from .service import (
     AdmissionPolicy,
     ArrivalTrace,
@@ -74,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--backend", choices=available_backends(), default="reference",
                      help="compute backend for the filter/back-projection hot "
                           "paths (default: %(default)s)")
+    rec.add_argument("--scenario", choices=available_scenarios(),
+                     default="full_scan",
+                     help="acquisition-scenario preset to replay the scan "
+                          "through (default: %(default)s; see 'repro scenarios')")
     rec.add_argument("--distributed", action="store_true",
                      help="run on the simulated cluster instead of a single node")
     rec.add_argument("--rows", type=int, default=None, help="R of the rank grid")
@@ -90,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override R (defaults to the Section 4.1.5 rule)")
 
     sub.add_parser("table4", help="regenerate Table 4 from the V100 cost model")
+
+    sub.add_parser(
+        "scenarios", help="list the registered acquisition-scenario presets"
+    )
 
     serve = sub.add_parser(
         "serve", help="replay a multi-tenant trace through the reconstruction service"
@@ -117,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dataset content key (enables cache reuse)")
     submit.add_argument("--backend", choices=available_backends(), default="reference",
                         help="compute backend the cluster's ranks run")
+    submit.add_argument("--scenario", choices=available_scenarios(),
+                        default="full_scan",
+                        help="acquisition-scenario preset of the job's dataset")
 
     trace = sub.add_parser("trace", help="generate a synthetic workload trace")
     trace.add_argument("--jobs", type=int, default=24)
@@ -124,9 +140,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--heavy-fraction", type=float, default=0.25,
                        help="fraction of heavy 2K reconstructions")
+    trace.add_argument("--scenario-mix", default=None, metavar="NAME=W[,NAME=W...]",
+                       help="sample job scenarios from this weighted mix, e.g. "
+                            "'full_scan=0.6,short_scan=0.3,sparse_view=0.1' "
+                            "(default: every job is full_scan)")
     trace.add_argument("--output", "-o", type=Path, required=True,
                        help="write the trace JSON to this file")
     return parser
+
+
+def _parse_scenario_mix(spec: Optional[str]):
+    """Parse ``name=weight,name=weight`` into a dict (None passes through)."""
+    if spec is None:
+        return None
+    mix = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        if not weight:
+            raise ValueError(
+                f"scenario mix entry {part!r} must look like name=weight"
+            )
+        get_scenario(name.strip())  # validate the preset exists
+        mix[name.strip()] = float(weight)
+    if not mix:
+        raise ValueError("scenario mix is empty")
+    return mix
 
 
 def _cmd_reconstruct(args: argparse.Namespace) -> int:
@@ -135,12 +176,25 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         nu=problem.nu, nv=problem.nv, np_=problem.np_,
         nx=problem.nx, ny=problem.ny, nz=problem.nz,
     )
+    scenario = get_scenario(args.scenario)
+    if args.distributed and not scenario.is_ideal:
+        print(
+            "error: --scenario presets run single-node; the distributed "
+            "pipeline only serves the ideal full scan for now",
+            file=sys.stderr,
+        )
+        return 2
     phantom = EllipsoidPhantom(shepp_logan_ellipsoids())
     print(f"forward projecting {problem} ...", file=sys.stderr)
     stack = forward_project_analytic(phantom, geometry)
+    if not scenario.is_ideal:
+        print(f"applying acquisition scenario {scenario.name} ...", file=sys.stderr)
+    geometry, stack = scenario.apply(geometry, stack)
 
     report: dict = {"problem": str(problem), "algorithm": args.algorithm,
-                    "backend": args.backend}
+                    "backend": args.backend, "scenario": scenario.name,
+                    "projections": stack.np_,
+                    "angular_range": float(geometry.angular_range)}
     if args.distributed:
         rows = args.rows or 2
         columns = args.columns or 2
@@ -161,6 +215,7 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         reconstructor = FDKReconstructor(
             geometry=geometry, ramp_filter=args.ramp_filter,
             algorithm=args.algorithm, backend=args.backend,
+            scenario=scenario,
         )
         fdk = reconstructor.reconstruct(stack)
         volume = fdk.volume
@@ -227,6 +282,31 @@ def _cmd_table4(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        rows.append({
+            "name": scenario.name,
+            "short-scan": "yes" if scenario.short_scan else "",
+            "detector crop": (
+                f"{scenario.detector_crop_fraction:.0%}"
+                if scenario.detector_crop_fraction else ""
+            ),
+            "sparse": (
+                f"1/{scenario.sparse_factor}" if scenario.sparse_factor > 1 else ""
+            ),
+            "noise": scenario.noise.token if scenario.noise else "",
+            "description": scenario.description,
+        })
+    print(format_table(
+        rows,
+        ["name", "short-scan", "detector crop", "sparse", "noise", "description"],
+        title="acquisition-scenario presets (use with --scenario)",
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.trace.exists():
         print(f"error: trace file {args.trace} does not exist", file=sys.stderr)
@@ -256,6 +336,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         dataset_id=args.dataset,
         priority=args.priority,
         slo_seconds=args.slo,
+        scenario=args.scenario,
     )
     accepted = service.submit(job)
     if not accepted:
@@ -272,6 +353,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cluster_gpus=args.gpus,
         seed=args.seed,
         heavy_fraction=args.heavy_fraction,
+        scenario_mix=_parse_scenario_mix(args.scenario_mix),
     )
     trace.save(args.output)
     print(
@@ -283,8 +365,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _format_service_report(report) -> str:
     job_columns = [
-        "job_id", "tenant", "problem", "state", "arrival_s", "start_s",
-        "finish_s", "latency_s", "slo_s", "gpus", "grid", "cache_hit",
+        "job_id", "tenant", "problem", "scenario", "state", "arrival_s",
+        "start_s", "finish_s", "latency_s", "slo_s", "gpus", "grid",
+        "cache_hit",
     ]
     rows = [
         {col: ("" if job.get(col) is None else job[col]) for col in job_columns}
@@ -309,6 +392,7 @@ _COMMANDS = {
     "reconstruct": _cmd_reconstruct,
     "predict": _cmd_predict,
     "table4": _cmd_table4,
+    "scenarios": _cmd_scenarios,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "trace": _cmd_trace,

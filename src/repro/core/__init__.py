@@ -23,7 +23,11 @@ from .filtering import (
     fdk_weight_and_filter,
     filter_projections,
 )
-from .forward import forward_project_analytic, forward_project_volume
+from .forward import (
+    apply_poisson_gaussian_noise,
+    forward_project_analytic,
+    forward_project_volume,
+)
 from .geometry import (
     CBCTGeometry,
     ProjectionMatrix,
@@ -72,6 +76,7 @@ __all__ = [
     "ReconstructionProblem",
     "SymmetryReport",
     "Volume",
+    "apply_poisson_gaussian_noise",
     "backproject_proposed",
     "backproject_standard",
     "bilinear_interpolate",

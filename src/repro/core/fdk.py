@@ -61,6 +61,14 @@ class FDKReconstructor:
         Name of the :mod:`repro.backends` compute backend executing both hot
         paths (``reference``, ``vectorized`` or ``blocked``); all backends
         are interchangeable per the conformance contract.
+    scenario:
+        Optional acquisition scenario (an
+        :class:`~repro.scenarios.AcquisitionScenario` or preset name).
+        ``geometry`` must already be the scenario-shaped geometry (see
+        :meth:`AcquisitionScenario.apply_geometry`); the reconstructor adds
+        the scenario's per-projection redundancy-weight table to the
+        filtering stage.  ``None`` / ``"full_scan"`` is the seed's ideal
+        full scan.
     """
 
     geometry: CBCTGeometry
@@ -69,6 +77,7 @@ class FDKReconstructor:
     z_range: Optional[Tuple[int, int]] = None
     use_symmetry: bool = True
     backend: str = "reference"
+    scenario: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.ramp_filter not in RAMP_FILTERS:
@@ -80,11 +89,25 @@ class FDKReconstructor:
         from ..backends import get_backend  # late import: backends import core
 
         self._backend = get_backend(self.backend)
+        if self.scenario is None:
+            self._redundancy = None
+        else:
+            from ..scenarios import get_scenario  # late: scenarios import core
+
+            resolved = get_scenario(self.scenario)
+            self.scenario = resolved
+            self._redundancy = resolved.redundancy_weights(self.geometry)
 
     # ------------------------------------------------------------------ #
     def filter(self, stack: ProjectionStack) -> ProjectionStack:
-        """Run the filtering stage (Algorithm 1 with FDK normalization)."""
-        return self._backend.filter_stack(stack, self.geometry, self.ramp_filter)
+        """Run the filtering stage (Algorithm 1 with FDK normalization).
+
+        When a scenario is configured, its redundancy-weight table rides
+        along into the backend's shared filtering driver.
+        """
+        return self._backend.filter_stack(
+            stack, self.geometry, self.ramp_filter, redundancy=self._redundancy
+        )
 
     def backproject(self, filtered: ProjectionStack) -> Volume:
         """Run the back-projection stage on already-filtered projections."""
@@ -101,6 +124,13 @@ class FDKReconstructor:
         if stack.nu != self.geometry.nu or stack.nv != self.geometry.nv:
             raise ValueError(
                 "projection stack does not match the configured detector size"
+            )
+        if stack.filtered and self._redundancy is not None:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} applies redundancy weights "
+                "in the filtering stage, but this stack is already filtered; "
+                "filter raw projections through this reconstructor (or drop "
+                "the scenario if the weights were already applied)"
             )
         problem = ReconstructionProblem(
             nu=self.geometry.nu,

@@ -44,6 +44,7 @@ from .types import DEFAULT_DTYPE, ProjectionStack
 
 __all__ = [
     "RAMP_FILTERS",
+    "broadcast_redundancy_table",
     "cosine_weight_table",
     "ramp_kernel_spatial",
     "ramp_filter_frequency_response",
@@ -62,11 +63,13 @@ def cosine_weight_table(geometry: CBCTGeometry) -> np.ndarray:
     """The 2-D cosine weighting table ``Fcos`` of size ``(Nv, Nu)``.
 
     Each detector pixel is weighted by ``D / sqrt(D² + a² + b²)`` where
-    ``(a, b)`` are the physical offsets of the pixel from the detector
-    centre — the cosine of the angle between the pixel's ray and the central
-    ray (Feldkamp et al. 1984).
+    ``(a, b)`` are the physical offsets of the pixel from the *principal
+    ray* — the cosine of the angle between the pixel's ray and the central
+    ray (Feldkamp et al. 1984).  For a centred detector the principal ray
+    pierces the panel centre; a lateral detector offset shifts the U
+    offsets accordingly.
     """
-    u = (np.arange(geometry.nu) - (geometry.nu - 1) / 2.0) * geometry.du
+    u = geometry.detector_u_mm()
     v = (np.arange(geometry.nv) - (geometry.nv - 1) / 2.0) * geometry.dv
     uu, vv = np.meshgrid(u, v)
     d = geometry.sdd
@@ -175,17 +178,43 @@ def apply_ramp_filter(
 # --------------------------------------------------------------------------- #
 # Algorithm 1
 # --------------------------------------------------------------------------- #
+def broadcast_redundancy_table(
+    redundancy: np.ndarray, np_: int, nu: int
+) -> np.ndarray:
+    """Validate a per-projection redundancy-weight table for broadcasting.
+
+    Acquisition scenarios (short-scan Parker weights, offset-detector
+    virtual-full-fan weights) express ray redundancy as a float table of
+    shape ``(Np, Nu)`` — one weight per (projection, detector column),
+    constant along V.  The table multiplies the projections *before* the
+    ramp filter, alongside the cosine weights.  Returns a ``(Np, 1, Nu)``
+    float64 view ready to broadcast against a ``(Np, Nv, Nu)`` stack.
+    """
+    redundancy = np.asarray(redundancy, dtype=np.float64)
+    if redundancy.shape != (np_, nu):
+        raise ValueError(
+            f"redundancy table shape {redundancy.shape} does not match "
+            f"(Np, Nu) = ({np_}, {nu})"
+        )
+    return redundancy[:, None, :]
+
+
 def filter_projections(
     stack: ProjectionStack,
     geometry: CBCTGeometry,
     window: str = "ram-lak",
     *,
     extra_scale: float = 1.0,
+    redundancy: Optional[np.ndarray] = None,
 ) -> ProjectionStack:
     """Algorithm 1: cosine weighting followed by row-wise ramp filtering.
 
     ``extra_scale`` is an optional constant folded into the output (used by
     :func:`fdk_weight_and_filter` to absorb the FDK normalization).
+    ``redundancy`` is an optional ``(Np, Nu)`` per-projection weight table
+    (see :func:`broadcast_redundancy_table`) applied with the cosine
+    weights — the hook acquisition scenarios use for Parker/short-scan and
+    offset-detector ray-redundancy handling.
     """
     if stack.nu != geometry.nu or stack.nv != geometry.nv:
         raise ValueError(
@@ -197,6 +226,10 @@ def filter_projections(
     tau = geometry.du * geometry.sad / geometry.sdd
     response = ramp_filter_frequency_response(geometry.nu, tau, window)
     weighted = stack.data * fcos[None, :, :]
+    if redundancy is not None:
+        weighted = (
+            weighted * broadcast_redundancy_table(redundancy, stack.np_, stack.nu)
+        ).astype(DEFAULT_DTYPE, copy=False)
     filtered = apply_ramp_filter(weighted, tau, window, response=response)
     if extra_scale != 1.0:
         filtered = filtered * DEFAULT_DTYPE(extra_scale)
@@ -211,9 +244,12 @@ def fdk_normalization(geometry: CBCTGeometry) -> float:
     """The constant FDK scale ``d² · Δβ / 2``.
 
     The classical Feldkamp formula back-projects with weight ``d²/z²`` and
-    integrates over the full rotation with measure ``dβ/2``.  Algorithm 2 /
+    integrates over the trajectory with measure ``dβ/2``.  Algorithm 2 /
     Algorithm 4 use ``Wdis = 1/z²``, so the remaining constant is folded into
-    the filtered projections by :func:`fdk_weight_and_filter`.
+    the filtered projections by :func:`fdk_weight_and_filter`.  ``Δβ`` is
+    ``geometry.theta = angular_range / Np``, so sparse-view and short-scan
+    geometries are normalized for their own angular sampling automatically
+    (redundancy weights handle the rest of the short-scan bookkeeping).
     """
     return float(geometry.sad**2 * geometry.theta / 2.0)
 
@@ -222,14 +258,20 @@ def fdk_weight_and_filter(
     stack: ProjectionStack,
     geometry: CBCTGeometry,
     window: str = "ram-lak",
+    *,
+    redundancy: Optional[np.ndarray] = None,
 ) -> ProjectionStack:
     """Filtering stage with the FDK normalization folded in.
 
     Output projections ``Q`` are ready for the literal Algorithm 2/4
     back-projection: ``I(i,j,k) = Σ_s (1/z²) · interp2(Q_s, u, v)``.
+    ``redundancy`` optionally applies a scenario's per-projection
+    ray-redundancy table (Parker / offset-detector weights).
     """
     return filter_projections(
-        stack, geometry, window, extra_scale=fdk_normalization(geometry)
+        stack, geometry, window,
+        extra_scale=fdk_normalization(geometry),
+        redundancy=redundancy,
     )
 
 
@@ -251,6 +293,7 @@ class FilteringStage:
         *,
         apply_fdk_scale: bool = True,
         backend: str = "reference",
+        redundancy: Optional[np.ndarray] = None,
     ):
         if window not in RAMP_FILTERS:
             raise ValueError(f"unknown ramp filter window {window!r}")
@@ -265,10 +308,22 @@ class FilteringStage:
         self._tau = geometry.du * geometry.sad / geometry.sdd
         self._response = ramp_filter_frequency_response(geometry.nu, self._tau, window)
         self._scale = fdk_normalization(geometry) if apply_fdk_scale else 1.0
+        # Whole-acquisition (Np, Nu) redundancy table; batches pick out
+        # their rows via the `start` offset of __call__.
+        self._redundancy = (
+            None
+            if redundancy is None
+            else broadcast_redundancy_table(redundancy, geometry.np_, geometry.nu)
+        )
         self.projections_filtered = 0
 
-    def __call__(self, projections: np.ndarray) -> np.ndarray:
-        """Filter one projection ``(Nv, Nu)`` or a batch ``(n, Nv, Nu)``."""
+    def __call__(self, projections: np.ndarray, *, start: int = 0) -> np.ndarray:
+        """Filter one projection ``(Nv, Nu)`` or a batch ``(n, Nv, Nu)``.
+
+        When the stage carries a scenario redundancy table, ``start`` is the
+        global index of the batch's first projection inside the acquisition
+        (the streaming pipeline filters in projection order).
+        """
         projections = np.asarray(projections, dtype=DEFAULT_DTYPE)
         squeeze = projections.ndim == 2
         if squeeze:
@@ -279,6 +334,16 @@ class FilteringStage:
                 f"({self.geometry.nv}, {self.geometry.nu})"
             )
         weighted = projections * self._fcos[None, :, :]
+        if self._redundancy is not None:
+            stop = start + projections.shape[0]
+            if not (0 <= start and stop <= self.geometry.np_):
+                raise ValueError(
+                    f"batch [{start}, {stop}) outside the acquisition's "
+                    f"{self.geometry.np_} projections"
+                )
+            weighted = (weighted * self._redundancy[start:stop]).astype(
+                DEFAULT_DTYPE, copy=False
+            )
         filtered = self._backend.apply_filter(weighted, self._response, self._tau)
         if self._scale != 1.0:
             filtered = filtered * DEFAULT_DTYPE(self._scale)

@@ -60,6 +60,16 @@ class CBCTGeometry:
         Voxel pitch (mm/voxel).
     angle_offset:
         Rotation angle of the first projection (radians).
+    angular_range:
+        Total angular span of the trajectory (radians).  The default ``2π``
+        is the paper's full circular scan; an acquisition scenario (e.g.
+        short-scan) narrows it, which changes the step angle ``θ`` and the
+        FDK normalization consistently.
+    detector_offset_u:
+        Lateral shift (mm) of the flat-panel detector along its U axis.
+        ``0`` centres the detector on the principal ray (the paper's
+        geometry); an offset-detector scenario shifts the panel to extend
+        the field of view with a half-fan acquisition.
     """
 
     nu: int
@@ -76,6 +86,8 @@ class CBCTGeometry:
     dy: float
     dz: float
     angle_offset: float = 0.0
+    angular_range: float = 2.0 * np.pi
+    detector_offset_u: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("nu", "nv", "np_", "nx", "ny", "nz"):
@@ -89,14 +101,22 @@ class CBCTGeometry:
                 "source-to-detector distance (sdd) must be >= source-to-axis "
                 "distance (sad)"
             )
+        if not (0.0 < float(self.angular_range) <= 2.0 * np.pi + 1e-9):
+            raise ValueError("angular_range must be in (0, 2π]")
 
     # ------------------------------------------------------------------ #
     # Derived quantities
     # ------------------------------------------------------------------ #
     @property
     def theta(self) -> float:
-        """Rotation step angle ``θ = 2π / Np`` (Table 1)."""
-        return 2.0 * np.pi / self.np_
+        """Rotation step angle ``θ = angular_range / Np`` (Table 1).
+
+        For the paper's full circular scan this is the familiar ``2π/Np``;
+        scenario geometries (short-scan, sparse-view) carry a different span
+        or projection count and ``θ`` — hence the FDK Riemann measure —
+        follows automatically.
+        """
+        return self.angular_range / self.np_
 
     @property
     def magnification(self) -> float:
@@ -122,14 +142,45 @@ class CBCTGeometry:
     def voxel_pitch(self) -> Tuple[float, float, float]:
         return (self.dx, self.dy, self.dz)
 
+    @property
+    def fan_angle(self) -> float:
+        """Half fan angle ``Δ`` (radians) subtended by the detector.
+
+        The angle between the central ray and the ray through the farthest
+        detector-column centre, measured at the source.  This is the ``Δ``
+        of the minimal short-scan range ``π + 2Δ`` and the bound on the
+        per-ray fan angle ``γ`` used by the Parker redundancy weights.
+        """
+        half_width = 0.5 * (self.nu - 1) * self.du
+        far_edge = half_width + abs(self.detector_offset_u)
+        return float(np.arctan2(far_edge, self.sdd))
+
+    @property
+    def short_scan_span(self) -> float:
+        """Minimal short-scan angular range ``π + 2Δ`` (radians)."""
+        return float(np.pi + 2.0 * self.fan_angle)
+
+    def detector_u_mm(self) -> np.ndarray:
+        """Physical U offsets (mm) of the detector columns from the principal ray.
+
+        With a centred detector these are symmetric around zero; a lateral
+        ``detector_offset_u`` shifts the whole axis.  The fan angle of the
+        ray through column ``i`` is ``arctan(u_mm[i] / sdd)``.
+        """
+        return (
+            np.arange(self.nu, dtype=np.float64) - (self.nu - 1) / 2.0
+        ) * self.du + self.detector_offset_u
+
     def fov_radius(self) -> float:
         """Radius (mm) of the cylindrical field of view covered by the fan.
 
         A point at distance ``r`` from the rotation axis stays inside the
         projection of the detector for all angles when
-        ``r <= d * sin(arctan(half_width / D))``.
+        ``r <= d * sin(arctan(half_width / D))``.  An offset detector with a
+        full rotation extends coverage to the far edge of the shifted panel
+        (each point only needs to be seen over half the turn).
         """
-        half_width = 0.5 * (self.nu - 1) * self.du
+        half_width = 0.5 * (self.nu - 1) * self.du + abs(self.detector_offset_u)
         return self.sad * np.sin(np.arctan2(half_width, self.sdd))
 
     def with_detector(self, nu: int, nv: int) -> "CBCTGeometry":
@@ -193,13 +244,16 @@ class CBCTGeometry:
         """Camera -> detector homogeneous transform ``M1`` (4x4).
 
         Applies the pinhole projection with focal length ``D`` and converts
-        millimetres on the detector to pixel coordinates centred at
-        ``((Nu-1)/2, (Nv-1)/2)``.
+        millimetres on the detector to pixel coordinates.  With a centred
+        detector the principal ray lands on pixel ``((Nu-1)/2, (Nv-1)/2)``;
+        a lateral ``detector_offset_u`` (mm) moves the principal point the
+        other way in pixel coordinates.
         """
         to_pixels = np.diag([1.0 / self.du, 1.0 / self.dv, 1.0, 1.0])
+        principal_u_mm = (self.nu - 1) * self.du / 2.0 - self.detector_offset_u
         pinhole = np.array(
             [
-                [self.sdd, 0.0, (self.nu - 1) * self.du / 2.0, 0.0],
+                [self.sdd, 0.0, principal_u_mm, 0.0],
                 [0.0, self.sdd, (self.nv - 1) * self.dv / 2.0, 0.0],
                 [0.0, 0.0, 1.0, 0.0],
                 [0.0, 0.0, 0.0, 1.0],

@@ -1,0 +1,40 @@
+"""Acquisition-scenario engine: non-ideal CBCT protocols as data.
+
+``repro.scenarios`` turns the seed's single workload — an ideal, noiseless
+full-``2π`` circular scan — into a family: short-scan (Parker-weighted),
+offset-detector (extended field of view), sparse-view (dose-limited
+angular subsampling) and noisy (Poisson + Gaussian measurement model)
+acquisitions, plus their combinations where the redundancy math composes.
+
+Every preset is locked down by the scenario × backend conformance matrix
+in ``tests/test_backend_conformance.py``: all compute backends must agree
+with ``reference`` to ≤ 1e-5 relative RMSE under every scenario, and the
+vectorized family must stay bit-identical under redundancy weighting.
+
+See :mod:`repro.scenarios.scenario` for the declarative model and
+:mod:`repro.scenarios.weights` for the redundancy-weight mathematics.
+"""
+
+from .noise import NoiseModel
+from .scenario import (
+    SCENARIO_PRESETS,
+    AcquisitionScenario,
+    available_scenarios,
+    get_scenario,
+    reconstruct_scenario,
+    register_scenario,
+)
+from .weights import conjugate_angle, offset_detector_weights, parker_weights
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "AcquisitionScenario",
+    "NoiseModel",
+    "available_scenarios",
+    "conjugate_angle",
+    "get_scenario",
+    "offset_detector_weights",
+    "parker_weights",
+    "reconstruct_scenario",
+    "register_scenario",
+]

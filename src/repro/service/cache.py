@@ -9,10 +9,12 @@ the Eq. 17 overlap this removes the ``T_flt`` term from ``T_compute``.
 
 The cache is **content-keyed**: the key combines a fingerprint of the raw
 projection data (or the trace-supplied ``dataset_id``, which stands in for a
-content hash in the simulated service) with the filter window and the
-detector/stack shape, so a re-uploaded identical dataset hits and a modified
-one misses.  Eviction is LRU by byte capacity, sized against the PFS scratch
-space reserved for the cache.
+content hash in the simulated service) with the filter window, the
+detector/stack shape and the acquisition-scenario token, so a re-uploaded
+identical dataset hits and a modified one misses — and a short-scan job is
+never served the full-scan filtering of the same dataset.  Eviction is LRU
+by byte capacity, sized against the PFS scratch space reserved for the
+cache.
 
 When constructed over a :class:`~repro.pfs.storage.SimulatedPFS`, entries
 write through to PFS objects under ``filtered-cache/`` so the functional
@@ -32,7 +34,13 @@ import numpy as np
 from ..core.types import ProjectionStack
 from ..pfs.storage import SimulatedPFS
 
-__all__ = ["CacheKey", "CacheStatistics", "FilteredProjectionCache", "fingerprint_stack"]
+__all__ = [
+    "CacheKey",
+    "CacheStatistics",
+    "FilteredProjectionCache",
+    "fingerprint_stack",
+    "scenario_cache_token",
+]
 
 
 def fingerprint_stack(stack: ProjectionStack) -> str:
@@ -44,15 +52,41 @@ def fingerprint_stack(stack: ProjectionStack) -> str:
     return digest.hexdigest()[:16]
 
 
+def scenario_cache_token(scenario: str) -> str:
+    """The cache-identity token of a scenario preset name.
+
+    Registered presets resolve to their
+    :attr:`~repro.scenarios.AcquisitionScenario.cache_token` — two preset
+    *names* that describe the same protocol share filtered projections.
+    Unregistered names are used verbatim (callers with ad-hoc scenarios
+    still get correct, if conservative, isolation).
+    """
+    from ..scenarios import get_scenario  # late import: optional dependency edge
+
+    try:
+        return get_scenario(scenario).cache_token
+    except ValueError:
+        return scenario
+
+
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of one filtered projection dataset."""
+    """Identity of one filtered projection dataset.
+
+    ``scenario`` is the acquisition-scenario cache token.  Filtered
+    projections are a function of the raw data *and* the acquisition
+    protocol — a short scan filters a different angular subset with
+    different redundancy weights than the full scan of the same dataset —
+    so the token is part of the key: a short-scan job can never be served
+    the full-scan job's filtered projections (and vice versa).
+    """
 
     dataset_id: str
     ramp_filter: str
     nu: int
     nv: int
     np_: int
+    scenario: str = "full"
 
     @classmethod
     def for_job(cls, job) -> "CacheKey":
@@ -64,6 +98,7 @@ class CacheKey:
             nu=problem.nu,
             nv=problem.nv,
             np_=problem.np_,
+            scenario=scenario_cache_token(getattr(job, "scenario", "full_scan")),
         )
 
     @property
@@ -71,7 +106,7 @@ class CacheKey:
         """PFS object name the filtered stack is stored under."""
         tag = hashlib.sha256(
             f"{self.dataset_id}|{self.ramp_filter}|{self.nu}x{self.nv}x{self.np_}"
-            .encode("ascii")
+            f"|{self.scenario}".encode("ascii")
         ).hexdigest()[:16]
         return f"filtered-cache/{tag}"
 

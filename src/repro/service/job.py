@@ -63,6 +63,13 @@ class ReconstructionJob:
         best-effort.
     arrival_seconds:
         Submission time on the simulated service clock.
+    scenario:
+        Acquisition-scenario preset name (see
+        :func:`repro.scenarios.available_scenarios`).  Part of the job's
+        *data identity*: two jobs on the same dataset but different
+        scenarios filter different projections (different angular subset,
+        detector window and redundancy weights), so the filtered-projection
+        cache must never serve one to the other.
     """
 
     problem: ReconstructionProblem
@@ -72,6 +79,7 @@ class ReconstructionJob:
     slo_seconds: Optional[float] = None
     arrival_seconds: float = 0.0
     ramp_filter: str = "ram-lak"
+    scenario: str = "full_scan"
     job_id: str = ""
 
     # Filled in by the service / scheduler.
@@ -98,6 +106,8 @@ class ReconstructionJob:
             raise ValueError("slo_seconds must be positive when given")
         if self.arrival_seconds < 0:
             raise ValueError("arrival_seconds must be non-negative")
+        if not self.scenario:
+            raise ValueError("scenario must be a non-empty preset name")
         if not self.job_id:
             self.job_id = f"job-{self.sequence:04d}"
         if not self.dataset_id:
@@ -180,6 +190,7 @@ class ReconstructionJob:
             "grid": (f"{self.rows}x{self.columns}"
                      if self.rows and self.columns else None),
             "cache_hit": self.cache_hit,
+            "scenario": self.scenario,
             "backend": self.backend,
             "filter_s": self.filter_seconds,
             "backprojection_s": self.backprojection_seconds,

@@ -71,6 +71,14 @@ class ServiceMetrics:
         return [j.latency_seconds for j in self.completed if j.latency_seconds is not None]
 
     @property
+    def scenario_counts(self) -> Dict[str, int]:
+        """Completed jobs per acquisition scenario (the workload mix)."""
+        counts: Dict[str, int] = {}
+        for job in self.completed:
+            counts[job.scenario] = counts.get(job.scenario, 0) + 1
+        return counts
+
+    @property
     def makespan_seconds(self) -> float:
         """First arrival to last completion across the replayed workload."""
         if not self.completed:
@@ -124,6 +132,11 @@ class ServiceMetrics:
             filter_total / (filter_total + bp_total)
             if (filter_total + bp_total) > 0 else 0.0
         )
+        # One flat entry per scenario in the completed mix, so operators
+        # (and the JSON report) see which acquisition protocols the
+        # cluster actually served.
+        for scenario, count in sorted(self.scenario_counts.items()):
+            out[f"scenario[{scenario}]_jobs"] = float(count)
         if cache is not None:
             out["cache_hit_rate"] = cache.stats.hit_rate
             out["cache_hits"] = float(cache.stats.hits)

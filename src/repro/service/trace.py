@@ -69,6 +69,7 @@ class TraceEntry:
     priority: int = 1
     slo_seconds: Optional[float] = None
     ramp_filter: str = "ram-lak"
+    scenario: str = "full_scan"
 
     def to_json(self) -> Dict:
         return {
@@ -80,6 +81,7 @@ class TraceEntry:
             "priority": self.priority,
             "slo": self.slo_seconds,
             "ramp_filter": self.ramp_filter,
+            "scenario": self.scenario,
         }
 
     @classmethod
@@ -96,6 +98,7 @@ class TraceEntry:
                     None if payload.get("slo") is None else float(payload["slo"])
                 ),
                 ramp_filter=str(payload.get("ramp_filter", "ram-lak")),
+                scenario=str(payload.get("scenario", "full_scan")),
             )
         except KeyError as exc:
             raise ValueError(f"trace entry missing required field {exc}") from exc
@@ -111,6 +114,7 @@ class TraceEntry:
             slo_seconds=self.slo_seconds,
             arrival_seconds=self.arrival_seconds,
             ramp_filter=self.ramp_filter,
+            scenario=self.scenario,
             job_id=self.job_id,
         )
 
@@ -187,6 +191,7 @@ def synthetic_trace(
     mean_interarrival_seconds: float = 1.2,
     interactive_slo_seconds: float = 25.0,
     heavy_slo_seconds: float = 90.0,
+    scenario_mix: Optional[Dict[str, float]] = None,
 ) -> ArrivalTrace:
     """Generate a seeded multi-tenant arrival trace (deterministic per seed).
 
@@ -197,17 +202,39 @@ def synthetic_trace(
     cache.  Heavy jobs get a looser SLO and a lower priority class than
     interactive ones, which is what makes naive FIFO's head-of-line
     blocking visible.
+
+    ``scenario_mix`` optionally maps acquisition-scenario preset names to
+    sampling weights (e.g. ``{"full_scan": 0.6, "short_scan": 0.4}``); by
+    default every job is a ``full_scan``.  Scenario draws use a *separate*
+    seeded stream, so enabling a mix changes nothing else about the trace.
     """
     if n_jobs <= 0:
         raise ValueError("n_jobs must be positive")
     if not 0.0 <= heavy_fraction <= 1.0:
         raise ValueError("heavy_fraction must be in [0, 1]")
+    scenario_names: List[str] = []
+    scenario_weights: List[float] = []
+    if scenario_mix:
+        for name, weight in scenario_mix.items():
+            if weight < 0:
+                raise ValueError(f"scenario weight for {name!r} must be >= 0")
+            scenario_names.append(str(name))
+            scenario_weights.append(float(weight))
+        total = sum(scenario_weights)
+        if total <= 0:
+            raise ValueError("scenario_mix weights must sum to a positive value")
+        scenario_weights = [w / total for w in scenario_weights]
+    scenario_rng = np.random.default_rng(seed + 0x5C)
     rng = np.random.default_rng(seed)
     entries: List[TraceEntry] = []
     now = 0.0
     for index in range(n_jobs):
         if index > 0:
             now += float(rng.exponential(mean_interarrival_seconds))
+        scenario = (
+            str(scenario_rng.choice(scenario_names, p=scenario_weights))
+            if scenario_names else "full_scan"
+        )
         heavy = bool(rng.random() < heavy_fraction)
         if heavy:
             problem = HEAVY_PROBLEM
@@ -228,6 +255,7 @@ def synthetic_trace(
                 dataset_id=dataset,
                 priority=priority,
                 slo_seconds=slo,
+                scenario=scenario,
             )
         )
     return ArrivalTrace(

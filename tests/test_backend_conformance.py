@@ -6,7 +6,14 @@ compute backend registered in :mod:`repro.backends` must reproduce the
 
     backend x geometry preset x input dtype x Z-slab decomposition
 
-for both back-projection algorithms and for the ramp-filtering stage.
+for both back-projection algorithms and for the ramp-filtering stage — and,
+since the acquisition-scenario engine landed, on a second matrix of
+
+    scenario preset x backend x input dtype
+
+so that every non-ideal workload (short-scan Parker weighting,
+offset-detector redundancy, sparse-view renormalization, seeded noise) is
+provably identical across backends too (``scenario`` marker).
 
 Two tiers of agreement are asserted:
 
@@ -43,6 +50,7 @@ from repro.backends import (
 )
 from repro.core import CBCTGeometry, FDKReconstructor, default_geometry_for_problem
 from repro.core.types import DEFAULT_DTYPE, ProjectionStack
+from repro.scenarios import SCENARIO_PRESETS, get_scenario, reconstruct_scenario
 
 try:
     from hypothesis import given, settings
@@ -209,6 +217,117 @@ def test_exact_family_slab_decomposition_is_bit_exact(backend, slab):
         backend, stack, geometry, "proposed", SLAB_SPLITS[slab]
     )
     np.testing.assert_array_equal(stitched, full)
+
+
+# --------------------------------------------------------------------------- #
+# The scenario x backend x dtype matrix
+# --------------------------------------------------------------------------- #
+#: Base acquisition for the scenario matrix: enough projections that the
+#: short-scan subset and the 1/4 sparse subset are both non-trivial.
+SCENARIO_BASE = dict(nu=28, nv=20, np_=24, nx=18, ny=14, nz=10)
+
+SCENARIO_NAMES = tuple(sorted(SCENARIO_PRESETS))
+
+
+def scenario_base_geometry() -> CBCTGeometry:
+    return default_geometry_for_problem(**SCENARIO_BASE)
+
+
+def scenario_base_stack(dtype: str, seed: int = 11) -> ProjectionStack:
+    geometry = scenario_base_geometry()
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(
+        (geometry.np_, geometry.nv, geometry.nu)
+    ).astype(dtype)
+    return ProjectionStack(data=data, angles=geometry.angles, filtered=False)
+
+
+@pytest.fixture(scope="module")
+def scenario_reference_volumes():
+    """Reference-backend volume per (scenario, dtype), computed once."""
+    cache = {}
+
+    def compute(scenario: str, dtype: str) -> np.ndarray:
+        key = (scenario, dtype)
+        if key not in cache:
+            result = reconstruct_scenario(
+                scenario, scenario_base_geometry(), scenario_base_stack(dtype),
+                backend="reference",
+            )
+            cache[key] = result.volume.data.astype(np.float64)
+        return cache[key]
+
+    return compute
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+@pytest.mark.parametrize("backend", NON_REFERENCE)
+def test_scenario_backend_matches_reference(
+    backend, scenario, dtype, scenario_reference_volumes
+):
+    """Every scenario preset conforms on every backend and input dtype."""
+    result = reconstruct_scenario(
+        scenario, scenario_base_geometry(), scenario_base_stack(dtype),
+        backend=backend,
+    )
+    reference = scenario_reference_volumes(scenario, dtype)
+    assert result.volume.data.shape == reference.shape
+    assert rel_rmse(result.volume.data, reference) <= RMSE_TOL
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+def test_scenario_exact_family_is_bit_identical(scenario):
+    """Redundancy weighting must not break vectorized ≡ blocked bit-equality."""
+    volumes = [
+        reconstruct_scenario(
+            scenario, scenario_base_geometry(), scenario_base_stack("float32"),
+            backend=backend,
+        ).volume.data
+        for backend in EXACT_FAMILY
+    ]
+    np.testing.assert_array_equal(volumes[0], volumes[1])
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_scenario_slab_decomposition_conforms(backend):
+    """Short-scan reconstruction distributes over Z slabs like the full scan."""
+    scenario = get_scenario("short_scan")
+    base = scenario_base_geometry()
+    stack = scenario_base_stack("float32")
+    geometry, scenario_stack = scenario.apply(base, stack)
+    reconstructor = FDKReconstructor(
+        geometry=geometry, backend=backend, scenario=scenario
+    )
+    filtered = reconstructor.filter(scenario_stack)
+    full = get_backend(backend).backproject(filtered, geometry).data
+    stitched = np.concatenate(
+        [
+            get_backend(backend).backproject(
+                filtered, geometry, z_range=(z0, z1)
+            ).data
+            for z0, z1 in slab_ranges(geometry.nz, SLAB_SPLITS["uneven"])
+        ],
+        axis=0,
+    )
+    assert rel_rmse(stitched, full.astype(np.float64)) <= RMSE_TOL
+
+
+@pytest.mark.scenario
+def test_scenario_full_scan_is_the_seed_arithmetic():
+    """The full_scan preset must be a strict no-op: identical bits."""
+    base = scenario_base_geometry()
+    stack = scenario_base_stack("float32")
+    seed_volume = FDKReconstructor(geometry=base, backend="vectorized").reconstruct(
+        stack.copy()
+    ).volume.data
+    scenario_volume = reconstruct_scenario(
+        "full_scan", base, stack, backend="vectorized"
+    ).volume.data
+    np.testing.assert_array_equal(scenario_volume, seed_volume)
 
 
 # --------------------------------------------------------------------------- #

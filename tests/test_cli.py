@@ -134,3 +134,84 @@ class TestTable4Command:
         for name in ("RTK-32", "Bp-Tex", "Tex-Tran", "Bp-L1", "L1-Tran"):
             assert name in out
         assert "512x512x1024->128x128x128" in out
+
+
+class TestScenariosCommand:
+    def test_lists_at_least_four_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("full_scan", "short_scan", "offset_detector",
+                       "sparse_view", "noisy"):
+            assert preset in out
+
+    def test_reconstruct_with_scenario(self, capsys):
+        code = main(["reconstruct", "--problem", "32x32x16->16x16x16",
+                     "--scenario", "short_scan", "--backend", "vectorized"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["scenario"] == "short_scan"
+        # The short scan keeps only the pi + 2*delta prefix of the sweep.
+        assert printed["projections"] < 16
+        assert printed["angular_range"] < 2 * np.pi
+
+    def test_reconstruct_scenario_matches_direct_api(self, capsys):
+        """--scenario output agrees with the library path (same min/max)."""
+        from repro.core import (
+            EllipsoidPhantom,
+            default_geometry_for_problem,
+            forward_project_analytic,
+            shepp_logan_ellipsoids,
+        )
+        from repro.scenarios import reconstruct_scenario
+
+        code = main(["reconstruct", "--problem", "32x32x16->16x16x16",
+                     "--scenario", "sparse_view"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        geometry = default_geometry_for_problem(
+            nu=32, nv=32, np_=16, nx=16, ny=16, nz=16
+        )
+        stack = forward_project_analytic(
+            EllipsoidPhantom(shepp_logan_ellipsoids()), geometry
+        )
+        result = reconstruct_scenario("sparse_view", geometry, stack)
+        assert printed["volume_min"] == pytest.approx(
+            float(result.volume.data.min())
+        )
+        assert printed["volume_max"] == pytest.approx(
+            float(result.volume.data.max())
+        )
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["reconstruct", "--scenario", "helical"])
+
+    def test_distributed_scenario_exits_2(self, capsys):
+        code = main(["reconstruct", "--problem", "32x32x8->16x16x16",
+                     "--scenario", "short_scan", "--distributed"])
+        assert code == 2
+        assert "single-node" in capsys.readouterr().err
+
+    def test_submit_with_scenario(self, capsys):
+        code = main(["submit", "--problem", "512x512x1024->256x256x256",
+                     "--gpus", "4", "--scenario", "noisy"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scenario"] == "noisy"
+        assert record["state"] == "completed"
+
+    def test_trace_scenario_mix(self, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main(["trace", "--jobs", "12", "--seed", "1",
+                     "--scenario-mix", "full_scan=0.5,short_scan=0.5",
+                     "-o", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        scenarios = {job["scenario"] for job in payload["jobs"]}
+        assert scenarios == {"full_scan", "short_scan"}
+
+    def test_trace_bad_scenario_mix_exits_2(self, tmp_path, capsys):
+        code = main(["trace", "--jobs", "4", "--scenario-mix", "helical=1",
+                     "-o", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err

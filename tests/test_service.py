@@ -509,3 +509,120 @@ class TestServiceCLI:
         record = json.loads(capsys.readouterr().out)
         assert record["state"] == "completed"
         assert record["met_slo"] is True
+
+
+# --------------------------------------------------------------------------- #
+# Acquisition scenarios in the service layer
+# --------------------------------------------------------------------------- #
+class TestScenarioAwareService:
+    def key(self, scenario="full", dataset="ds-0"):
+        return CacheKey(dataset_id=dataset, ramp_filter="ram-lak",
+                        nu=64, nv=64, np_=32, scenario=scenario)
+
+    def test_cache_key_includes_scenario(self):
+        """Same projections, different scenario -> miss; identical -> hit."""
+        cache = FilteredProjectionCache()
+        cache.insert(self.key(scenario="full"), nbytes=10)
+        assert not cache.lookup(self.key(scenario="short"))
+        assert cache.lookup(self.key(scenario="full"))
+        assert self.key("full").object_name != self.key("short").object_name
+
+    def test_for_job_resolves_preset_to_cache_token(self):
+        """PR 1's cache can no longer serve full-scan filtering to a
+        short-scan job: the job's scenario preset lands in the key."""
+        full = CacheKey.for_job(make_job(dataset_id="ds-1"))
+        short = CacheKey.for_job(
+            make_job(dataset_id="ds-1", scenario="short_scan")
+        )
+        assert full.scenario == "full"
+        assert short.scenario == "short"
+        assert full != short
+        # Renamed-but-identical protocols share filtered projections.
+        assert CacheKey.for_job(
+            make_job(dataset_id="ds-1", scenario="full_scan")
+        ) == full
+        # Unregistered ad-hoc names isolate conservatively (verbatim token).
+        assert CacheKey.for_job(
+            make_job(dataset_id="ds-1", scenario="custom-protocol")
+        ).scenario == "custom-protocol"
+
+    def test_service_cache_misses_across_scenarios(self):
+        """End to end: a short-scan job on a cached dataset is not a hit."""
+        service = ReconstructionService(8)
+        first = make_job(dataset_id="shared", scenario="full_scan")
+        assert service.submit(first)
+        service.run_until_idle()
+        repeat = make_job(dataset_id="shared", scenario="full_scan")
+        other = make_job(dataset_id="shared", scenario="short_scan")
+        assert service.submit(repeat) and service.submit(other)
+        service.run_until_idle()
+        assert repeat.cache_hit
+        assert not other.cache_hit
+
+    def test_job_round_trips_scenario(self):
+        job = make_job(scenario="sparse_view", slo_seconds=60.0)
+        record = job.as_record()
+        assert record["scenario"] == "sparse_view"
+        assert json.dumps(record)  # record stays JSON-serializable
+        with pytest.raises(ValueError, match="scenario"):
+            make_job(scenario="")
+
+    def test_metrics_count_scenarios(self):
+        metrics = ServiceMetrics()
+        for scenario in ("full_scan", "short_scan", "short_scan"):
+            job = make_job(scenario=scenario)
+            job.mark_running(0.0, gpus=1, rows=1, columns=1, cache_hit=False)
+            job.mark_completed(1.0)
+            metrics.record_completion(job)
+        assert metrics.scenario_counts == {"full_scan": 1, "short_scan": 2}
+        summary = metrics.summary()
+        assert summary["scenario[full_scan]_jobs"] == 1.0
+        assert summary["scenario[short_scan]_jobs"] == 2.0
+
+    def test_trace_entry_round_trips_scenario(self, tmp_path):
+        entry = TraceEntry(
+            job_id="job-0", tenant="t", arrival_seconds=0.0,
+            problem=SMALL, dataset_id="ds", scenario="noisy",
+        )
+        trace = ArrivalTrace(entries=[entry], cluster_gpus=4)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ArrivalTrace.load(path)
+        assert loaded.entries[0].scenario == "noisy"
+        assert loaded.jobs()[0].scenario == "noisy"
+        # Legacy traces without the field default to full_scan.
+        legacy = TraceEntry.from_json(
+            {"id": "j", "arrival": 0.0, "problem": SMALL}
+        )
+        assert legacy.scenario == "full_scan"
+
+    def test_synthetic_trace_scenario_mix(self):
+        mixed = synthetic_trace(
+            30, seed=5, scenario_mix={"full_scan": 0.5, "short_scan": 0.5}
+        )
+        scenarios = {e.scenario for e in mixed.entries}
+        assert scenarios == {"full_scan", "short_scan"}
+        # The mix draws from a separate stream: everything else identical.
+        plain = synthetic_trace(30, seed=5)
+        assert all(e.scenario == "full_scan" for e in plain.entries)
+        for a, b in zip(plain.entries, mixed.entries):
+            assert (a.job_id, a.arrival_seconds, a.problem, a.dataset_id,
+                    a.priority) == (b.job_id, b.arrival_seconds, b.problem,
+                                    b.dataset_id, b.priority)
+        with pytest.raises(ValueError, match="sum to a positive"):
+            synthetic_trace(5, scenario_mix={"full_scan": 0.0})
+
+    def test_scenario_replay_reports_mix(self):
+        trace = synthetic_trace(
+            12, cluster_gpus=8, seed=2,
+            scenario_mix={"full_scan": 0.6, "sparse_view": 0.4},
+        )
+        report = ReconstructionService(8).replay(trace)
+        mix_keys = [k for k in report.summary if k.startswith("scenario[")]
+        assert mix_keys
+        assert sum(report.summary[k] for k in mix_keys) == report.summary[
+            "jobs_completed"
+        ]
+        for job in report.jobs:
+            if job["state"] == "completed":
+                assert job["scenario"] in ("full_scan", "sparse_view")
