@@ -1,28 +1,37 @@
-"""Backend speed micro-benchmark: reference vs vectorized vs blocked.
+"""Backend speed micro-benchmark: reference vs vectorized/blocked vs parallel.
 
 The paper's pitch is a back-projection that is arithmetically identical but
 far cheaper; the backend seam exists so the repo can keep making that trade
 safely.  This benchmark pins a real hot-path number to it: the proposed
 back-projection (Algorithm 4) of a 64³ volume from 128 projections, timed
-on every registered backend, with the conformance suite guaranteeing the
-outputs agree.  The results are written to ``BENCH_backend_speed.json`` at
-the repo root so future PRs can track the hot path instead of guessing.
+on every registered backend plus an explicit 4-worker ``parallel`` run,
+with the conformance suite guaranteeing all outputs agree (bit-identically,
+within the vectorized family).  The results are written to
+``BENCH_backend_speed.json`` at the repo root so future PRs can track the
+hot path instead of guessing.
 
-The assertion — ``vectorized`` strictly beats ``reference`` — is the
-acceptance bar for this PR's tentpole and the regression tripwire for any
-later change to the fast kernels.
+Two assertions gate the record:
+
+* ``vectorized`` strictly beats ``reference`` — the PR 2 acceptance bar and
+  the regression tripwire for the fast kernels;
+* ``parallel`` with 4 workers is at least 2× faster than ``blocked`` — the
+  multicore tentpole's bar — asserted only when the host actually has ≥ 4
+  cores (thread parallelism cannot manufacture cores; on smaller hosts the
+  record still tracks the measured speedup and a bounded-overhead check
+  keeps the dispatch cost honest).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.backends import BACKEND_NAMES, get_backend
+from repro.backends import BACKEND_NAMES, ParallelBackend, get_backend
 from repro.core import default_geometry_for_problem
 from repro.core.types import ProjectionStack, ReconstructionProblem
 
@@ -37,6 +46,12 @@ RESULT_FILE = REPO_ROOT / "BENCH_backend_speed.json"
 #: The 64³ / 128-projection hot-path problem of the acceptance criterion.
 PROBLEM = ReconstructionProblem(nu=96, nv=96, np_=128, nx=64, ny=64, nz=64)
 
+#: Worker count of the recorded parallel run (the acceptance criterion's).
+PARALLEL_WORKERS = 4
+
+#: Multicore dispatch must not cost more than this on a core-starved host.
+MAX_PARALLEL_OVERHEAD = 1.5
+
 
 def _best_seconds(fn, repeats: int = 2) -> float:
     best = float("inf")
@@ -47,7 +62,7 @@ def _best_seconds(fn, repeats: int = 2) -> float:
     return best
 
 
-def test_backend_speed_vectorized_beats_reference():
+def test_backend_speed_records_parallel_speedup():
     geometry = default_geometry_for_problem(
         nu=PROBLEM.nu, nv=PROBLEM.nv, np_=PROBLEM.np_,
         nx=PROBLEM.nx, ny=PROBLEM.ny, nz=PROBLEM.nz,
@@ -61,31 +76,38 @@ def test_backend_speed_vectorized_beats_reference():
         filtered=True,  # back-projection only: this is the hot path
     )
 
-    results = {}
-    for name in BACKEND_NAMES:
-        backend = get_backend(name)
-        # One small warm-up reconstruction (grid caches, FFT plans).
+    def timed(backend, repeats):
+        # One small warm-up reconstruction (grid caches, FFT plans, pool).
         backend.backproject(
             stack.subset(range(2)), geometry, algorithm="proposed",
             z_range=(0, 4),
         )
-        repeats = 1 if name == "reference" else 2
         seconds = _best_seconds(
-            lambda b=backend: b.backproject(stack, geometry, algorithm="proposed"),
+            lambda: backend.backproject(stack, geometry, algorithm="proposed"),
             repeats=repeats,
         )
-        results[name] = {
-            "seconds": seconds,
-            "gups": PROBLEM.gups(seconds),
-        }
+        return {"seconds": seconds, "gups": PROBLEM.gups(seconds)}
+
+    results = {}
+    for name in BACKEND_NAMES:
+        if name == "parallel":
+            continue  # recorded separately with an explicit worker count
+        results[name] = timed(get_backend(name), 1 if name == "reference" else 2)
+    with ParallelBackend(workers=PARALLEL_WORKERS) as backend:
+        results["parallel"] = timed(backend, 2)
+        results["parallel"]["workers"] = PARALLEL_WORKERS
 
     record = {
         "benchmark": "proposed back-projection (Algorithm 4), hot path only",
         "problem": str(PROBLEM),
         "updates": PROBLEM.updates,
+        "cpus": os.cpu_count(),
         "backends": results,
         "speedup_vectorized_over_reference": (
             results["reference"]["seconds"] / results["vectorized"]["seconds"]
+        ),
+        "speedup_parallel_over_blocked": (
+            results["blocked"]["seconds"] / results["parallel"]["seconds"]
         ),
     }
     RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
@@ -95,3 +117,11 @@ def test_backend_speed_vectorized_beats_reference():
         "vectorized backend must beat reference on the 64^3/128-projection "
         f"micro-benchmark: {record}"
     )
+    assert results["parallel"]["seconds"] <= (
+        MAX_PARALLEL_OVERHEAD * results["blocked"]["seconds"]
+    ), f"parallel dispatch overhead exceeds {MAX_PARALLEL_OVERHEAD}x: {record}"
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert record["speedup_parallel_over_blocked"] >= 2.0, (
+            f"parallel (workers={PARALLEL_WORKERS}) must be >= 2x faster than "
+            f"blocked on a >= {PARALLEL_WORKERS}-core host: {record}"
+        )

@@ -14,6 +14,10 @@ ramp filtering and back-projection through a named
 ``blocked``
     The vectorized kernels tiled over (z, y) slabs under a byte budget —
     bit-identical to ``vectorized``, shaped like a GPU/out-of-core port.
+``parallel``
+    The blocked tile plan executed across a persistent worker-thread pool
+    (``workers=N``) — bit-identical to ``blocked`` at every worker count,
+    because workers own disjoint tiles of one preallocated volume.
 
 Adding a backend
 ----------------
@@ -32,6 +36,7 @@ from typing import Dict, Tuple, Type, Union
 
 from .base import ALGORITHMS, ComputeBackend, VolumeAccumulator
 from .blocked import DEFAULT_BYTE_BUDGET, BlockedBackend, plan_tiles
+from .parallel import ParallelBackend, WorkerPool, default_workers
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend
 
@@ -42,13 +47,17 @@ __all__ = [
     "DEFAULT_BYTE_BUDGET",
     "BlockedBackend",
     "ComputeBackend",
+    "ParallelBackend",
     "ReferenceBackend",
     "VectorizedBackend",
     "VolumeAccumulator",
+    "WorkerPool",
     "available_backends",
+    "default_workers",
     "get_backend",
     "plan_tiles",
     "register_backend",
+    "resolve_backend",
 ]
 
 #: The backend every layer defaults to.
@@ -89,9 +98,33 @@ def get_backend(name: Union[str, ComputeBackend]) -> ComputeBackend:
         ) from None
 
 
+def resolve_backend(
+    name: Union[str, ComputeBackend], *, workers: Union[int, None] = None
+) -> ComputeBackend:
+    """Resolve a backend, optionally overriding the parallel worker count.
+
+    ``workers=None`` is a plain :func:`get_backend` lookup (instances pass
+    through).  An explicit worker count builds a *dedicated*
+    :class:`ParallelBackend` whose pool the caller owns — close it on
+    teardown (``FDKReconstructor.close`` does).  Requesting workers on any
+    other backend is a :class:`ValueError`: only ``parallel`` executes on a
+    worker pool.
+    """
+    if workers is None:
+        return get_backend(name)
+    resolved = get_backend(name).name if not isinstance(name, str) else name
+    if resolved != ParallelBackend.name:
+        raise ValueError(
+            f"workers={workers!r} requires the 'parallel' backend, but "
+            f"backend is {resolved!r}"
+        )
+    return ParallelBackend(workers=workers)
+
+
 register_backend(ReferenceBackend)
 register_backend(VectorizedBackend)
 register_backend(BlockedBackend)
+register_backend(ParallelBackend)
 
 #: Stable tuple of the built-in backend names.
 BACKEND_NAMES = available_backends()

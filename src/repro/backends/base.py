@@ -232,6 +232,21 @@ class ComputeBackend(abc.ABC):
             acc.add(projection, angle)
         return acc.volume()
 
+    def close(self) -> None:
+        """Release execution resources (worker threads); idempotent no-op here.
+
+        Backends that own threads (``parallel``) override this; closing must
+        always be safe — a closed backend restarts its resources lazily on
+        the next call, so shared registry instances tolerate it too.
+        """
+
+    def __enter__(self) -> "ComputeBackend":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
     def reconstruct(
         self,
         stack: ProjectionStack,

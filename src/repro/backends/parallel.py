@@ -1,0 +1,421 @@
+"""The ``parallel`` backend: multicore tiled execution of the blocked plan.
+
+The ``blocked`` backend already decomposes every hot path into independent,
+bounded units of work — ``(z, y)`` volume tiles for back-projection and
+detector-row blocks for filtering.  This backend executes those *same*
+units across a persistent pool of worker threads: the block kernels spend
+their time in NumPy primitives that release the GIL (ufunc arithmetic,
+``take`` gathers, real FFTs), so plain threads scale the tile loop across
+cores without any change to the arithmetic.
+
+Deterministic by construction
+-----------------------------
+
+Concurrency never touches the numerics:
+
+* every worker owns a statically-assigned, *disjoint* subset of the tile
+  plan (``tiles[w::workers]``) and writes only its own ``(z, y)`` region of
+  one preallocated output volume — there is no shared accumulation, no
+  reduction, and therefore no dependence on scheduling order;
+* within each tile the per-projection accumulation order is the sequential
+  stack order, exactly as ``blocked`` executes it;
+* row-blocked rfft filtering writes disjoint row ranges of a preallocated
+  output, and each row's transform is independent of how rows are grouped.
+
+The result is **bit-identical** to ``blocked`` (hence to ``vectorized``)
+for *every* worker count, every tile refinement and every run — asserted by
+``tests/test_backend_conformance.py`` and ``tests/test_parallel_determinism.py``.
+
+Thread hygiene
+--------------
+
+The pool starts lazily on first dispatch and its threads are named
+``repro-parallel-*`` so they can be accounted for (the ``run_spmd``
+discipline: every thread this package starts must be joinable and
+attributable).  :meth:`ParallelBackend.close` joins all workers; a closed
+pool restarts lazily on the next dispatch, so closing a shared registry
+instance is always safe.  ``FDKReconstructor(..., workers=N)`` owns a
+dedicated backend and closes it on teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.geometry import CBCTGeometry
+from ..core.types import DEFAULT_DTYPE, ProjectionStack, Volume
+from .base import ComputeBackend, VolumeAccumulator
+from .blocked import DEFAULT_BYTE_BUDGET, plan_tiles
+from .vectorized import _BLOCK_KERNELS, _index_grids, rfft_ramp_filter
+
+__all__ = [
+    "ParallelBackend",
+    "WorkerPool",
+    "default_workers",
+    "partition_tiles",
+    "refine_tiles",
+]
+
+#: Thread-name prefix of every pool worker (leak checks grep for this).
+WORKER_THREAD_PREFIX = "repro-parallel"
+
+
+def default_workers() -> int:
+    """Worker count when none is given: ``REPRO_PARALLEL_WORKERS`` or cores.
+
+    The environment override is how CI forces a fixed pool width (the
+    ``parallel-conformance`` job runs the whole matrix with 4 workers on
+    whatever runner it lands on); without it the count follows the host,
+    capped at 4 — the tile kernels are memory-bandwidth-bound beyond that.
+    """
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            workers = 0
+        if workers < 1:
+            raise ValueError(
+                f"REPRO_PARALLEL_WORKERS must be a positive integer (got {env!r})"
+            )
+        return workers
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """A persistent, lazily-started worker pool with blocking dispatch.
+
+    :meth:`run` executes a batch of callables and returns when all have
+    finished, re-raising the first failure.  With one worker (or one task)
+    the batch runs inline on the caller's thread — no pool is started, so
+    ``workers=1`` is exactly the single-threaded execution it claims to be.
+    """
+
+    def __init__(self, workers: int, *, name: str = WORKER_THREAD_PREFIX):
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+            raise ValueError(f"workers must be a positive integer (got {workers!r})")
+        self.workers = int(workers)
+        self.name = name
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix=self.name
+                )
+            return self._executor
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Run ``tasks`` to completion; the first exception propagates."""
+        tasks = list(tasks)
+        if not tasks:
+            return
+        if self.workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                task()
+            return
+        executor = self._ensure()
+        futures = [executor.submit(task) for task in tasks]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        """Join every worker thread; the pool restarts lazily if reused."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+
+def refine_tiles(
+    tiles: Sequence[Tuple[int, int, int, int]], min_tiles: int
+) -> List[Tuple[int, int, int, int]]:
+    """Split tiles deterministically until at least ``min_tiles`` exist.
+
+    The widest Y extent splits first: inside one tile the proposed kernel's
+    per-column detector tables are shared along Z, so Y splits add no
+    redundant column work while Z splits would recompute those tables once
+    per sub-tile.  Ties break toward the earliest tile; 1×1 tiles stop the
+    refinement (a degenerate slab simply under-fills the pool).
+    """
+    if min_tiles < 1:
+        raise ValueError("min_tiles must be positive")
+    tiles = list(tiles)
+    while len(tiles) < min_tiles:
+        widest = max(range(len(tiles)), key=lambda t: (tiles[t][3] - tiles[t][2], -t))
+        z0, z1, y0, y1 = tiles[widest]
+        if y1 - y0 >= 2:
+            ym = (y0 + y1) // 2
+            tiles[widest : widest + 1] = [(z0, z1, y0, ym), (z0, z1, ym, y1)]
+            continue
+        tallest = max(range(len(tiles)), key=lambda t: (tiles[t][1] - tiles[t][0], -t))
+        z0, z1, y0, y1 = tiles[tallest]
+        if z1 - z0 < 2:
+            break
+        zm = (z0 + z1) // 2
+        tiles[tallest : tallest + 1] = [(z0, zm, y0, y1), (zm, z1, y0, y1)]
+    return tiles
+
+
+def partition_tiles(
+    tiles: Sequence[Tuple[int, int, int, int]], workers: int
+) -> List[List[Tuple[int, int, int, int]]]:
+    """Static round-robin shards: worker ``w`` owns ``tiles[w::workers]``.
+
+    Disjoint by construction (every tile appears in exactly one shard) and
+    interleaved so each worker gets a spread of Z rows — load balance
+    without any scheduling-dependent assignment.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    shards = [list(tiles[w::workers]) for w in range(workers)]
+    return [shard for shard in shards if shard]
+
+
+class _ParallelAccumulator(VolumeAccumulator):
+    """Shard-parallel tile accumulation into one preallocated volume."""
+
+    def __init__(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+        pool: WorkerPool,
+    ):
+        super().__init__(
+            geometry, algorithm=algorithm, z_range=z_range, use_symmetry=use_symmetry
+        )
+        self._pool = pool
+        self._out = np.zeros(
+            (self.nz_local, geometry.ny, geometry.nx), dtype=DEFAULT_DTYPE
+        )
+        tiles = refine_tiles(
+            plan_tiles(
+                self.nz_local, geometry.ny, geometry.nx, geometry.nv, byte_budget
+            ),
+            pool.workers,
+        )
+        self._shards = partition_tiles(tiles, pool.workers)
+        self._kernel = _BLOCK_KERNELS[self.algorithm]
+
+    # ------------------------------------------------------------------ #
+    def _shard_task(
+        self,
+        shard: List[Tuple[int, int, int, int]],
+        projections: np.ndarray,
+        matrices: List[np.ndarray],
+        i_grid: np.ndarray,
+        j_grid: np.ndarray,
+    ) -> Callable[[], None]:
+        z_start = self.z_range[0]
+        # ks depends only on the tile's Z extent — build once per tile, not
+        # once per (projection, tile) pair.
+        tile_ks = [
+            np.arange(z_start + z0, z_start + z1, dtype=np.float64)
+            for z0, z1, _, _ in shard
+        ]
+
+        def task() -> None:
+            for matrix, projection in zip(matrices, projections):
+                for (z0, z1, y0, y1), ks in zip(shard, tile_ks):
+                    self._kernel(
+                        self._out[z0:z1, y0:y1, :],
+                        projection,
+                        matrix,
+                        ks,
+                        i_grid[y0:y1, :],
+                        j_grid[y0:y1, :],
+                    )
+
+        return task
+
+    def _dispatch(self, projections: np.ndarray, angles: Sequence[float]) -> None:
+        matrices = [
+            self.geometry.projection_matrix(float(angle)).matrix for angle in angles
+        ]
+        j_grid, i_grid = _index_grids(self.geometry.ny, self.geometry.nx)
+        self._pool.run(
+            [
+                self._shard_task(shard, projections, matrices, i_grid, j_grid)
+                for shard in self._shards
+            ]
+        )
+
+    def add(self, projection: np.ndarray, angle: float) -> None:
+        projection = np.asarray(projection, dtype=DEFAULT_DTYPE)
+        self._validate(projection)
+        self._dispatch(projection[None, ...], [angle])
+
+    def add_stack(self, stack: ProjectionStack) -> None:
+        """Fold a whole filtered stack with a single dispatch per shard.
+
+        One synchronization point for the entire stack instead of one per
+        projection; each shard still accumulates its tiles in sequential
+        stack order, so the bits match streaming :meth:`add` exactly.
+        """
+        data = np.asarray(stack.data, dtype=DEFAULT_DTYPE)
+        if data.shape[1:] != (self.geometry.nv, self.geometry.nu):
+            raise ValueError(
+                f"projection stack {data.shape[1:]} does not match detector "
+                f"({self.geometry.nv}, {self.geometry.nu})"
+            )
+        self._dispatch(data, stack.angles)
+
+    def volume(self) -> Volume:
+        return Volume(
+            data=self._out.copy(), voxel_pitch=self.geometry.voxel_pitch
+        )
+
+    def reset(self) -> None:
+        self._out.fill(0)
+
+
+class ParallelBackend(ComputeBackend):
+    """Multicore execution of the blocked tile plan on a worker pool.
+
+    With ``workers=None`` the count is resolved *lazily* from
+    :func:`default_workers` on first use — never at construction — so
+    importing the package (which registers a default instance) cannot fail
+    on a malformed ``REPRO_PARALLEL_WORKERS``; the error surfaces on the
+    first parallel execution, inside the normal ValueError paths.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+    ):
+        if workers is not None and (
+            isinstance(workers, bool) or not isinstance(workers, int) or workers < 1
+        ):
+            raise ValueError(f"workers must be a positive integer (got {workers!r})")
+        if byte_budget <= 0:
+            raise ValueError("byte_budget must be positive")
+        self._workers = int(workers) if workers is not None else None
+        self.byte_budget = int(byte_budget)
+        self._pool: Optional[WorkerPool] = None
+        self._init_lock = threading.Lock()
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (reads the environment on first use)."""
+        return self._ensure_pool().workers
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._init_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self._workers if self._workers is not None else default_workers()
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------ #
+    def apply_filter(
+        self, rows: np.ndarray, response: np.ndarray, tau: float
+    ) -> np.ndarray:
+        """Row-group rfft filtering, groups processed concurrently.
+
+        Groups share the precomputed frequency ``response`` (the plan/weight
+        tables are built once in the shared driver) and write disjoint row
+        ranges of one preallocated output; per-row transforms are identical
+        regardless of grouping, so any worker count is bit-exact with the
+        ``blocked`` row-blocked path.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim <= 1:
+            return rfft_ramp_filter(rows, response, tau)
+        lead = rows.shape[:-1]
+        flat = rows.reshape(-1, rows.shape[-1])
+        n_rows = flat.shape[0]
+        # Same byte ceiling as `blocked`, but never fewer groups than
+        # workers: ~16 bytes of complex spectrum per padded sample per row.
+        per_budget = max(1, self.byte_budget // (16 * response.shape[0]))
+        per_worker = -(-n_rows // self.workers)
+        rows_per_group = max(1, min(per_budget, per_worker))
+        out_dtype = rows.dtype if rows.dtype.kind == "f" else DEFAULT_DTYPE
+        out = np.empty(flat.shape, dtype=out_dtype)
+
+        def group_task(start: int) -> Callable[[], None]:
+            def task() -> None:
+                stop = min(start + rows_per_group, n_rows)
+                out[start:stop] = rfft_ramp_filter(flat[start:stop], response, tau)
+
+            return task
+
+        self._ensure_pool().run(
+            [group_task(start) for start in range(0, n_rows, rows_per_group)]
+        )
+        return out.reshape(*lead, -1)
+
+    def accumulator(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        k_chunk: int = 32,  # noqa: ARG002 - tile planning replaces chunking
+    ) -> VolumeAccumulator:
+        return _ParallelAccumulator(
+            geometry,
+            algorithm=algorithm,
+            z_range=z_range,
+            use_symmetry=use_symmetry,
+            byte_budget=self.byte_budget,
+            pool=self._ensure_pool(),
+        )
+
+    def backproject(
+        self,
+        stack: ProjectionStack,
+        geometry: CBCTGeometry,
+        *,
+        algorithm: str = "proposed",
+        z_range: Optional[Tuple[int, int]] = None,
+        use_symmetry: bool = True,
+        k_chunk: int = 32,
+    ) -> Volume:
+        """Whole-stack back-projection: one dispatch per worker shard.
+
+        The streaming ``accumulator().add`` seam stays available for the
+        rank runtime; this driver amortizes pool synchronization over the
+        entire stack (identical bits either way).
+        """
+        acc = self.accumulator(
+            geometry,
+            algorithm=algorithm,
+            z_range=z_range,
+            use_symmetry=use_symmetry,
+            k_chunk=k_chunk,
+        )
+        acc.add_stack(stack)
+        return acc.volume()
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Join the worker pool (restarts lazily if the backend is reused)."""
+        with self._init_lock:
+            pool = self._pool
+        if pool is not None:
+            pool.close()
+
+    @property
+    def pool_started(self) -> bool:
+        """Whether the pool currently holds live worker threads."""
+        return self._pool is not None and self._pool.started

@@ -79,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--backend", choices=available_backends(), default="reference",
                      help="compute backend for the filter/back-projection hot "
                           "paths (default: %(default)s)")
+    rec.add_argument("--workers", type=int, default=None,
+                     help="worker threads for the parallel backend (requires "
+                          "--backend parallel; results are bit-identical for "
+                          "every worker count)")
     rec.add_argument("--scenario", choices=available_scenarios(),
                      default="full_scan",
                      help="acquisition-scenario preset to replay the scan "
@@ -116,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue-depth", type=int, default=256)
     serve.add_argument("--backend", choices=available_backends(), default="reference",
                        help="compute backend the cluster's ranks run")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="run each placed job for real (a pilot FDK "
+                            "execution) on a pool of this many workers, and "
+                            "report the measured worker accounting")
     serve.add_argument("--report", type=Path, default=None,
                        help="write the full JSON service report to this file")
 
@@ -133,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--scenario", choices=available_scenarios(),
                         default="full_scan",
                         help="acquisition-scenario preset of the job's dataset")
+    submit.add_argument("--workers", type=int, default=None,
+                        help="also run the job for real (a pilot FDK "
+                             "execution) on a pool of this many workers")
 
     trace = sub.add_parser("trace", help="generate a synthetic workload trace")
     trace.add_argument("--jobs", type=int, default=24)
@@ -147,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", "-o", type=Path, required=True,
                        help="write the trace JSON to this file")
     return parser
+
+
+def _validated_workers(workers: Optional[int]) -> Optional[int]:
+    """``--workers`` must be >= 1 when given (ValueError -> exit code 2)."""
+    if workers is not None and workers < 1:
+        raise ValueError(
+            f"--workers must be a positive integer (got {workers})"
+        )
+    return workers
 
 
 def _parse_scenario_mix(spec: Optional[str]):
@@ -171,6 +191,11 @@ def _parse_scenario_mix(spec: Optional[str]):
 
 
 def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    from .backends import resolve_backend
+
+    workers = _validated_workers(args.workers)
+    # Fail fast on a workers/backend mismatch, before the forward projection.
+    resolve_backend(args.backend, workers=workers)
     problem = problem_from_string(args.problem)
     geometry = default_geometry_for_problem(
         nu=problem.nu, nv=problem.nv, np_=problem.np_,
@@ -193,13 +218,15 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
 
     report: dict = {"problem": str(problem), "algorithm": args.algorithm,
                     "backend": args.backend, "scenario": scenario.name,
+                    "workers": workers,
                     "projections": stack.np_,
                     "angular_range": float(geometry.angular_range)}
     if args.distributed:
         rows = args.rows or 2
         columns = args.columns or 2
         config = IFDKConfig(geometry=geometry, rows=rows, columns=columns,
-                            ramp_filter=args.ramp_filter, backend=args.backend)
+                            ramp_filter=args.ramp_filter, backend=args.backend,
+                            workers=workers)
         result = IFDKFramework(config).reconstruct(stack)
         volume = result.volume
         report.update(
@@ -212,12 +239,12 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
             modelled_runtime_at_scale=result.modelled.t_runtime,
         )
     else:
-        reconstructor = FDKReconstructor(
+        with FDKReconstructor(
             geometry=geometry, ramp_filter=args.ramp_filter,
             algorithm=args.algorithm, backend=args.backend,
-            scenario=scenario,
-        )
-        fdk = reconstructor.reconstruct(stack)
+            scenario=scenario, workers=workers,
+        ) as reconstructor:
+            fdk = reconstructor.reconstruct(stack)
         volume = fdk.volume
         report.update(
             mode="single-node",
@@ -308,18 +335,20 @@ def _cmd_scenarios(_: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    workers = _validated_workers(args.workers)
     if not args.trace.exists():
         print(f"error: trace file {args.trace} does not exist", file=sys.stderr)
         return 2
     trace = ArrivalTrace.load(args.trace)
     gpus = args.gpus or trace.cluster_gpus
-    service = ReconstructionService(
+    with ReconstructionService(
         gpus,
         policy=args.policy,
         admission=AdmissionPolicy(max_depth=args.max_queue_depth),
         backend=args.backend,
-    )
-    report = service.replay(trace)
+        workers=workers or 0,
+    ) as service:
+        report = service.replay(trace)
     print(_format_service_report(report))
     if args.report is not None:
         args.report.write_text(json.dumps(report.as_dict(), indent=2))
@@ -329,20 +358,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     problem = problem_from_string(args.problem)
-    service = ReconstructionService(args.gpus, policy="slo", backend=args.backend)
-    job = ReconstructionJob(
-        problem=problem,
-        tenant="cli",
-        dataset_id=args.dataset,
-        priority=args.priority,
-        slo_seconds=args.slo,
-        scenario=args.scenario,
-    )
-    accepted = service.submit(job)
-    if not accepted:
-        print(f"rejected: {job.rejection_reason}", file=sys.stderr)
-        return 1
-    service.run_until_idle()
+    with ReconstructionService(
+        args.gpus, policy="slo", backend=args.backend,
+        workers=_validated_workers(args.workers) or 0,
+    ) as service:
+        job = ReconstructionJob(
+            problem=problem,
+            tenant="cli",
+            dataset_id=args.dataset,
+            priority=args.priority,
+            slo_seconds=args.slo,
+            scenario=args.scenario,
+        )
+        accepted = service.submit(job)
+        if not accepted:
+            print(f"rejected: {job.rejection_reason}", file=sys.stderr)
+            return 1
+        service.run_until_idle()
     print(json.dumps(job.as_record(), indent=2))
     return 0
 

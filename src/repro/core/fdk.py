@@ -59,8 +59,14 @@ class FDKReconstructor:
         Optional Z slab to reconstruct (used by the distributed framework).
     backend:
         Name of the :mod:`repro.backends` compute backend executing both hot
-        paths (``reference``, ``vectorized`` or ``blocked``); all backends
-        are interchangeable per the conformance contract.
+        paths (``reference``, ``vectorized``, ``blocked`` or ``parallel``);
+        all backends are interchangeable per the conformance contract.
+    workers:
+        Optional worker-thread count for the ``parallel`` backend.  When
+        given, the reconstructor owns a dedicated worker pool sized to this
+        count (close it with :meth:`close` or a ``with`` block); requesting
+        workers on any other backend raises :class:`ValueError`.  ``None``
+        uses the shared registry backend as-is.
     scenario:
         Optional acquisition scenario (an
         :class:`~repro.scenarios.AcquisitionScenario` or preset name).
@@ -78,6 +84,7 @@ class FDKReconstructor:
     use_symmetry: bool = True
     backend: str = "reference"
     scenario: Optional[object] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.ramp_filter not in RAMP_FILTERS:
@@ -86,9 +93,12 @@ class FDKReconstructor:
             )
         if self.algorithm not in ("proposed", "standard"):
             raise ValueError("algorithm must be 'proposed' or 'standard'")
-        from ..backends import get_backend  # late import: backends import core
+        from ..backends import resolve_backend  # late import: backends import core
 
-        self._backend = get_backend(self.backend)
+        self._backend = resolve_backend(self.backend, workers=self.workers)
+        # A dedicated pool (explicit workers) is ours to tear down; shared
+        # registry backends are left alone.
+        self._owns_backend = self.workers is not None
         if self.scenario is None:
             self._redundancy = None
         else:
@@ -99,6 +109,23 @@ class FDKReconstructor:
             self._redundancy = resolved.redundancy_weights(self.geometry)
 
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Join the worker pool of a dedicated ``parallel`` backend.
+
+        Idempotent; a no-op for shared registry backends.  After closing, no
+        thread started on this reconstructor's behalf remains alive (the
+        ``run_spmd`` thread-accounting discipline).
+        """
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "FDKReconstructor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
     def filter(self, stack: ProjectionStack) -> ProjectionStack:
         """Run the filtering stage (Algorithm 1 with FDK normalization).
 
@@ -160,10 +187,11 @@ def reconstruct_fdk(
     ramp_filter: str = "ram-lak",
     algorithm: str = "proposed",
     backend: str = "reference",
+    workers: Optional[int] = None,
 ) -> Volume:
     """One-call FDK reconstruction (filter + back-project)."""
-    reconstructor = FDKReconstructor(
+    with FDKReconstructor(
         geometry=geometry, ramp_filter=ramp_filter, algorithm=algorithm,
-        backend=backend,
-    )
-    return reconstructor.reconstruct(stack).volume
+        backend=backend, workers=workers,
+    ) as reconstructor:
+        return reconstructor.reconstruct(stack).volume

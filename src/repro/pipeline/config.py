@@ -87,6 +87,10 @@ class IFDKConfig:
     backend:
         Name of the :mod:`repro.backends` compute backend every rank uses
         for its filtering and back-projection numerics.
+    workers:
+        Optional worker-thread count for the ``parallel`` backend.  All
+        ranks share one resolved backend instance — and therefore one
+        worker pool — so ``R·C`` ranks never multiply the thread count.
     projection_batch:
         Projections staged per device batch (``N_batch`` = 32 in Listing 1).
     device:
@@ -100,13 +104,20 @@ class IFDKConfig:
     kernel: str = "L1-Tran"
     ramp_filter: str = "ram-lak"
     backend: str = "reference"
+    workers: Optional[int] = None
     projection_batch: int = DEFAULT_PROJECTION_BATCH
     device: DeviceSpec = TESLA_V100
 
     def __post_init__(self) -> None:
-        from ..backends import get_backend  # late import: backends import core
+        from ..backends import resolve_backend  # late import: backends import core
 
-        get_backend(self.backend)  # raises ValueError on unknown names
+        # Resolve once (raises ValueError on unknown names / bad workers);
+        # the frozen dataclass stashes the instance outside its fields.
+        object.__setattr__(
+            self,
+            "_compute_backend",
+            resolve_backend(self.backend, workers=self.workers),
+        )
         if self.rows <= 0 or self.columns <= 0:
             raise ValueError("rows and columns must be positive")
         if self.gpus_per_node <= 0:
@@ -127,6 +138,26 @@ class IFDKConfig:
             )
 
     # ------------------------------------------------------------------ #
+    def compute_backend(self):
+        """The resolved :class:`~repro.backends.base.ComputeBackend`.
+
+        Every rank's filtering and BP thread executes on this single
+        instance; with ``workers`` set it is a dedicated
+        :class:`~repro.backends.ParallelBackend` whose pool is shared by
+        all ranks.
+        """
+        return self._compute_backend
+
+    def close_backend(self) -> None:
+        """Join the dedicated worker pool of an explicit ``workers`` count.
+
+        A no-op for shared registry backends (``workers=None``).  Safe to
+        call between reconstructions: a closed pool restarts lazily, so the
+        framework closes it after every run without losing reusability.
+        """
+        if self.workers is not None:
+            self._compute_backend.close()
+
     @property
     def n_ranks(self) -> int:
         """Total MPI ranks, ``N_ranks = R · C`` (Equation 4)."""

@@ -127,14 +127,19 @@ class IFDKFramework:
             self.stage_input(stack)
 
         start = time.perf_counter()
-        rank_results: List[RankResult] = run_spmd(
-            self.config.n_ranks,
-            run_rank,
-            self.config,
-            self.pfs,
-            volume_name=volume_name,
-            name=f"ifdk-{self.config.rows}x{self.config.columns}",
-        )
+        try:
+            rank_results: List[RankResult] = run_spmd(
+                self.config.n_ranks,
+                run_rank,
+                self.config,
+                self.pfs,
+                volume_name=volume_name,
+                name=f"ifdk-{self.config.rows}x{self.config.columns}",
+            )
+        finally:
+            # A config-owned parallel pool must not outlive the run (it
+            # restarts lazily, so repeat reconstructions still work).
+            self.config.close_backend()
         wall = time.perf_counter() - start
 
         volume = read_volume(

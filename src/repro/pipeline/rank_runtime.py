@@ -76,7 +76,9 @@ def _filtering_thread(
 ) -> None:
     """Load + filter this rank's own projections, in AllGather-round order."""
     try:
-        stage = FilteringStage(config.geometry, config.ramp_filter, backend=config.backend)
+        stage = FilteringStage(
+            config.geometry, config.ramp_filter, backend=config.compute_backend()
+        )
         for index in assignment.owned_projections:
             with tracer.span("load", payload_bytes=config.geometry.nu * config.geometry.nv * 4):
                 stack = read_projection_subset(pfs, [index])
@@ -104,7 +106,7 @@ def _bp_thread(
             config.geometry,
             algorithm=kernel.algorithm,
             z_range=assignment.z_range,
-            backend=config.backend,
+            backend=config.compute_backend(),
         )
         for angles, batch in in_buffer:
             with tracer.span("h2d", payload_bytes=int(batch.nbytes)):

@@ -10,6 +10,7 @@ command line.
 """
 
 from .cache import CacheKey, CacheStatistics, FilteredProjectionCache, fingerprint_stack
+from .dispatch import DEFAULT_PILOT_PROBLEM, BatchedDispatcher
 from .job import JobState, ReconstructionJob, job_sort_key
 from .metrics import QueueSample, ServiceMetrics, percentile
 from .queue import AdmissionPolicy, JobQueue
@@ -26,8 +27,10 @@ __all__ = [
     "AdmissionPolicy",
     "AllocationPlan",
     "ArrivalTrace",
+    "BatchedDispatcher",
     "CacheKey",
     "CacheStatistics",
+    "DEFAULT_PILOT_PROBLEM",
     "ClusterScheduler",
     "FilteredProjectionCache",
     "GPUCluster",

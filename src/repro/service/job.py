@@ -95,6 +95,12 @@ class ReconstructionJob:
     filter_seconds: Optional[float] = None
     backprojection_seconds: Optional[float] = None
     rejection_reason: Optional[str] = None
+    # Real-execution accounting, filled in by the BatchedDispatcher when the
+    # service runs placements for real (wall-clock seconds on the pool's
+    # epoch, not the simulated service clock).
+    workers: Optional[int] = None
+    executed_start_seconds: Optional[float] = None
+    executed_finish_seconds: Optional[float] = None
     sequence: int = field(default_factory=lambda: next(_job_counter))
 
     def __post_init__(self) -> None:
@@ -145,6 +151,21 @@ class ReconstructionJob:
             return None
         return self.finish_seconds - self.start_seconds
 
+    @property
+    def executed_wall_seconds(self) -> Optional[float]:
+        """Measured wall-clock of the real pilot execution (``None`` if none ran)."""
+        if self.executed_start_seconds is None or self.executed_finish_seconds is None:
+            return None
+        return self.executed_finish_seconds - self.executed_start_seconds
+
+    @property
+    def worker_seconds(self) -> Optional[float]:
+        """Worker occupancy of the real execution: wall seconds × workers."""
+        wall = self.executed_wall_seconds
+        if wall is None or self.workers is None:
+            return None
+        return wall * self.workers
+
     # ------------------------------------------------------------------ #
     def mark_queued(self) -> None:
         self.state = JobState.QUEUED
@@ -165,6 +186,16 @@ class ReconstructionJob:
     def mark_completed(self, now: float) -> None:
         self.state = JobState.COMPLETED
         self.finish_seconds = now
+
+    def mark_executed(self, start: float, finish: float, *, workers: int) -> None:
+        """Record the real (wall-clock) execution of this job's placement."""
+        if finish < start:
+            raise ValueError("execution must finish at or after its start")
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self.executed_start_seconds = start
+        self.executed_finish_seconds = finish
+        self.workers = int(workers)
 
     def mark_rejected(self, reason: str) -> None:
         self.state = JobState.REJECTED
@@ -194,6 +225,9 @@ class ReconstructionJob:
             "backend": self.backend,
             "filter_s": self.filter_seconds,
             "backprojection_s": self.backprojection_seconds,
+            "workers": self.workers,
+            "executed_wall_s": self.executed_wall_seconds,
+            "worker_seconds": self.worker_seconds,
             "rejection_reason": self.rejection_reason,
         }
 

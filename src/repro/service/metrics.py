@@ -12,7 +12,10 @@ service operator watches:
 * cache — hit rate of the filtered-projection cache;
 * utilization — busy GPU-seconds over cluster capacity;
 * stage split — aggregate filtering vs back-projection seconds across
-  completed jobs (the ``FDKResult``-level split, surfaced service-wide).
+  completed jobs (the ``FDKResult``-level split, surfaced service-wide);
+* worker accounting — when placements run for real on the batched
+  dispatcher, the measured wall seconds and worker occupancy of those
+  executions, summed across jobs.
 """
 
 from __future__ import annotations
@@ -132,6 +135,17 @@ class ServiceMetrics:
             filter_total / (filter_total + bp_total)
             if (filter_total + bp_total) > 0 else 0.0
         )
+        # Real-execution worker accounting (absent when nothing ran for
+        # real, so model-only reports keep their exact shape).
+        executed = [j for j in self.completed if j.worker_seconds is not None]
+        if executed:
+            out["jobs_executed"] = float(len(executed))
+            out["executed_wall_seconds_total"] = float(
+                sum(j.executed_wall_seconds for j in executed)
+            )
+            out["worker_seconds_total"] = float(
+                sum(j.worker_seconds for j in executed)
+            )
         # One flat entry per scenario in the completed mix, so operators
         # (and the JSON report) see which acquisition protocols the
         # cluster actually served.

@@ -13,17 +13,31 @@ On completion each job's filtered projections are inserted into the
 :class:`~repro.service.cache.FilteredProjectionCache`; later jobs on the
 same dataset/filter skip the filtering stage (``T_flt`` leaves the Eq. 17
 overlap), which both shortens them and frees filtering capacity.
+
+With ``workers > 0`` the service additionally owns a
+:class:`~repro.service.dispatch.BatchedDispatcher`: every scheduling
+cycle's placements are dispatched as one batch onto a real worker pool,
+where each job runs a pilot reconstruction concurrently with its
+co-scheduled peers.  Submission is serialized on a reentrant service lock:
+concurrent tenants may call :meth:`submit` from their own threads, and the
+event loop processes each event atomically under the same lock, so
+concurrent submissions interleave between events rather than corrupting
+them.  The measured worker accounting lands in
+:class:`~repro.service.metrics.ServiceMetrics`.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from ..core.types import ReconstructionProblem
 from ..gpusim.device import DeviceSpec, TESLA_V100
 from ..pipeline.perfmodel import IFDKPerformanceModel
 from .cache import CacheKey, FilteredProjectionCache
+from .dispatch import BatchedDispatcher
 from .job import JobState, ReconstructionJob
 from .metrics import ServiceMetrics
 from .queue import AdmissionPolicy, JobQueue
@@ -69,10 +83,26 @@ class ReconstructionService:
         device: DeviceSpec = TESLA_V100,
         max_gpus_per_job: Optional[int] = None,
         backend: str = "reference",
+        workers: int = 0,
+        pilot_problem: Union[ReconstructionProblem, str, None] = None,
     ):
         from ..backends import get_backend  # late import: backends import core
 
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers < 0:
+            raise ValueError(
+                f"workers must be a non-negative integer (got {workers!r}); "
+                "0 disables real execution"
+            )
         self.backend = get_backend(backend).name
+        self.workers = int(workers)
+        self.dispatcher: Optional[BatchedDispatcher] = (
+            BatchedDispatcher(
+                self.workers, backend=self.backend, pilot_problem=pilot_problem
+            )
+            if self.workers
+            else None
+        )
+        self._lock = threading.RLock()
         self.cluster = GPUCluster(cluster_gpus, device=device)
         self.cache = cache if cache is not None else FilteredProjectionCache()
         self.scheduler = ClusterScheduler(
@@ -104,64 +134,82 @@ class ReconstructionService:
 
         Returns ``False`` — with the job marked ``REJECTED`` — when the job
         cannot ever run on this cluster or fails queue admission control.
+        Safe to call from concurrent tenant threads: queue, cache and
+        metrics mutations are serialized on the service lock.
         """
-        now = self.clock_seconds if now is None else now
-        job.arrival_seconds = now
-        job.backend = self.backend  # every rank of this cluster runs one backend
-        feasibility = self.scheduler.best_plan(job, self.cluster.total_gpus, now)
-        if feasibility is None:
-            job.mark_rejected(
-                f"infeasible: no (R, C) decomposition of {job.problem} fits "
-                f"{self.cluster.total_gpus} x {self.cluster.device.name}"
-            )
-            self.metrics.record_rejection(job)
-            return False
-        job.estimated_seconds = feasibility.runtime_seconds
-        if not self.queue.offer(job):
-            self.metrics.record_rejection(job)
-            return False
-        return True
+        with self._lock:
+            now = self.clock_seconds if now is None else now
+            job.arrival_seconds = now
+            job.backend = self.backend  # every rank runs one backend
+            feasibility = self.scheduler.best_plan(job, self.cluster.total_gpus, now)
+            if feasibility is None:
+                job.mark_rejected(
+                    f"infeasible: no (R, C) decomposition of {job.problem} fits "
+                    f"{self.cluster.total_gpus} x {self.cluster.device.name}"
+                )
+                self.metrics.record_rejection(job)
+                return False
+            job.estimated_seconds = feasibility.runtime_seconds
+            if not self.queue.offer(job):
+                self.metrics.record_rejection(job)
+                return False
+            return True
 
     def _dispatch(self, now: float) -> None:
-        placements, rejected = self.scheduler.schedule(self.queue, now, self._running)
-        for job in rejected:
-            self.metrics.record_rejection(job)
-        for placement in placements:
-            self._running.append(placement)
-            heapq.heappush(
-                self._finish_heap,
-                (placement.finish_seconds, placement.job.sequence, placement),
+        with self._lock:
+            placements, rejected = self.scheduler.schedule(
+                self.queue, now, self._running
             )
-        self.metrics.sample_queue_depth(now, len(self.queue))
+            for job in rejected:
+                self.metrics.record_rejection(job)
+            for placement in placements:
+                self._running.append(placement)
+                heapq.heappush(
+                    self._finish_heap,
+                    (placement.finish_seconds, placement.job.sequence, placement),
+                )
+            self.metrics.sample_queue_depth(now, len(self.queue))
+        # Real execution rides along as one batch per scheduling cycle; the
+        # pool runs outside the lock so submissions never wait on pilots.
+        if self.dispatcher is not None and placements:
+            self.dispatcher.dispatch(placements)
 
     def _complete(self, placement: Placement) -> None:
-        now = placement.finish_seconds
-        self._running.remove(placement)
-        self.cluster.release(placement.gpus)
-        job = placement.job
-        job.mark_completed(now)
-        self.metrics.record_completion(job)
-        # Filtering ran as part of the job (unless it was a hit); its output
-        # is now on the PFS for every later job on the same dataset.
-        self.cache.insert(
-            CacheKey.for_job(job), nbytes=job.problem.input_bytes()
-        )
+        with self._lock:
+            now = placement.finish_seconds
+            self._running.remove(placement)
+            self.cluster.release(placement.gpus)
+            job = placement.job
+            job.mark_completed(now)
+            self.metrics.record_completion(job)
+            # Filtering ran as part of the job (unless it was a hit); its
+            # output is now on the PFS for every later job on the dataset.
+            self.cache.insert(
+                CacheKey.for_job(job), nbytes=job.problem.input_bytes()
+            )
 
     def run_until_idle(self) -> None:
-        """Drain the queue and all running jobs, advancing the clock."""
+        """Drain the queue, all running jobs and any real executions."""
         self._drain(arrivals=[])
+        if self.dispatcher is not None:
+            self.dispatcher.drain()
 
     def reset(self) -> None:
         """Forget all jobs and metrics and rewind the clock to zero.
 
         The filtered-projection cache is deliberately kept warm — in a
-        long-lived service its contents survive individual workloads.
+        long-lived service its contents survive individual workloads.  The
+        dispatcher's worker accounting restarts with the metrics, so a
+        replay's summary always agrees with the dispatcher's counters.
         """
         if self._running or len(self.queue):
             raise RuntimeError("cannot reset while jobs are queued or running")
         self.metrics = ServiceMetrics()
         self._finish_heap.clear()
         self.clock_seconds = 0.0
+        if self.dispatcher is not None:
+            self.dispatcher.drain()
+            self.dispatcher.reset_accounting()
 
     def replay(self, trace: ArrivalTrace) -> ServiceReport:
         """Replay a trace from t=0 and return the service report.
@@ -172,41 +220,70 @@ class ReconstructionService:
         arrivals = trace.jobs()
         self.reset()
         self._drain(arrivals=arrivals)
+        if self.dispatcher is not None:
+            self.dispatcher.drain()  # worker accounting must be complete
         return self.report(description=trace.description)
+
+    def close(self) -> None:
+        """Join the dispatcher's worker threads (no-op without real execution)."""
+        if self.dispatcher is not None:
+            self.dispatcher.close()
+
+    def __enter__(self) -> "ReconstructionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     def _drain(self, arrivals: List[ReconstructionJob]) -> None:
+        """Advance the event loop until nothing is queued, running or arriving.
+
+        Each iteration — clock advance, completions, arrivals, starvation
+        sweep — executes atomically under the service lock (the lock is
+        reentrant, so the nested ``submit``/``_complete`` calls compose),
+        and concurrent tenant submissions interleave *between* events.
+        """
         arrivals = sorted(arrivals, key=lambda j: (j.arrival_seconds, j.sequence))
         next_arrival = 0
         self._dispatch(self.clock_seconds)
-        while next_arrival < len(arrivals) or self._finish_heap or len(self.queue):
-            arrival_time = (
-                arrivals[next_arrival].arrival_seconds
-                if next_arrival < len(arrivals) else float("inf")
-            )
-            finish_time = (
-                self._finish_heap[0][0] if self._finish_heap else float("inf")
-            )
-            now = min(arrival_time, finish_time)
-            if now == float("inf"):
-                # Queued jobs but nothing running or arriving: the scheduler
-                # cannot place them now and no future event will free GPUs.
-                for job in self.queue.drain():
-                    job.mark_rejected(
-                        "starved: no future completion can free enough GPUs"
-                    )
-                    self.metrics.record_rejection(job)
-                break
-            self.clock_seconds = now
-            while self._finish_heap and self._finish_heap[0][0] <= now:
-                _, _, placement = heapq.heappop(self._finish_heap)
-                self._complete(placement)
-            while (
-                next_arrival < len(arrivals)
-                and arrivals[next_arrival].arrival_seconds <= now
-            ):
-                self.submit(arrivals[next_arrival], now=now)
-                next_arrival += 1
+        while True:
+            with self._lock:
+                if not (
+                    next_arrival < len(arrivals)
+                    or self._finish_heap
+                    or len(self.queue)
+                ):
+                    break
+                arrival_time = (
+                    arrivals[next_arrival].arrival_seconds
+                    if next_arrival < len(arrivals) else float("inf")
+                )
+                finish_time = (
+                    self._finish_heap[0][0] if self._finish_heap else float("inf")
+                )
+                now = min(arrival_time, finish_time)
+                if now == float("inf"):
+                    # Queued jobs but nothing running or arriving: the
+                    # scheduler cannot place them now and no future event
+                    # will free GPUs.
+                    for job in self.queue.drain():
+                        job.mark_rejected(
+                            "starved: no future completion can free enough GPUs"
+                        )
+                        self.metrics.record_rejection(job)
+                    break
+                self.clock_seconds = now
+                while self._finish_heap and self._finish_heap[0][0] <= now:
+                    _, _, placement = heapq.heappop(self._finish_heap)
+                    self._complete(placement)
+                while (
+                    next_arrival < len(arrivals)
+                    and arrivals[next_arrival].arrival_seconds <= now
+                ):
+                    self.submit(arrivals[next_arrival], now=now)
+                    next_arrival += 1
             self._dispatch(now)
 
     # ------------------------------------------------------------------ #

@@ -22,7 +22,8 @@ Two tiers of agreement are asserted:
   NumPy backends actually land around 1e-7);
 * **bit-exact** — backends that share arithmetic and differ only in
   traversal order (``blocked`` vs ``vectorized``, any byte budget; slab
-  decompositions of either) must produce *identical* float32 volumes.
+  decompositions of either; ``parallel`` at any worker count, workers
+  owning disjoint tiles) must produce *identical* float32 volumes.
 
 On top of the matrix, property-based tests (Hypothesis when available,
 seeded random sweeps otherwise) check the paper's theorem invariants that
@@ -44,10 +45,12 @@ import pytest
 from repro.backends import (
     BACKEND_NAMES,
     BlockedBackend,
+    ParallelBackend,
     available_backends,
     get_backend,
     plan_tiles,
 )
+from repro.backends.parallel import partition_tiles, refine_tiles
 from repro.core import CBCTGeometry, FDKReconstructor, default_geometry_for_problem
 from repro.core.types import DEFAULT_DTYPE, ProjectionStack
 from repro.scenarios import SCENARIO_PRESETS, get_scenario, reconstruct_scenario
@@ -64,7 +67,10 @@ except ImportError:  # pragma: no cover - hypothesis is available in CI
 RMSE_TOL = 1e-5
 
 #: Backends that must be bit-identical to each other (shared arithmetic).
-EXACT_FAMILY = ("vectorized", "blocked")
+EXACT_FAMILY = ("vectorized", "blocked", "parallel")
+
+#: Worker counts the parallel backend must be bit-exact across.
+WORKER_COUNTS = (1, 2, 4)
 
 #: Geometry presets: a cube, an anisotropic volume/detector, and an odd-Nz
 #: volume (exercises the unpaired centre slice of the symmetry path).
@@ -206,6 +212,37 @@ def test_blocked_is_bit_exact_with_vectorized(algorithm, budget):
     np.testing.assert_array_equal(blocked, vectorized)
 
 
+@pytest.mark.parallel
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_parallel_is_bit_exact_with_blocked_and_vectorized(algorithm, workers):
+    """Every worker count must reproduce blocked *and* vectorized bit-for-bit."""
+    geometry = make_geometry("aniso")
+    stack = make_stack(geometry, "float32")
+    vectorized = get_backend("vectorized").backproject(
+        stack, geometry, algorithm=algorithm
+    ).data
+    blocked = get_backend("blocked").backproject(
+        stack, geometry, algorithm=algorithm
+    ).data
+    with ParallelBackend(workers=workers) as backend:
+        parallel = backend.backproject(stack, geometry, algorithm=algorithm).data
+    np.testing.assert_array_equal(parallel, blocked)
+    np.testing.assert_array_equal(parallel, vectorized)
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_filter_is_bit_exact_across_worker_counts(workers):
+    """Concurrent row groups must not change a single filtered bit."""
+    geometry = make_geometry("cube16")
+    raw = make_stack(geometry, "float32", filtered=False)
+    blocked = get_backend("blocked").filter_stack(raw, geometry).data
+    with ParallelBackend(workers=workers) as backend:
+        parallel = backend.filter_stack(raw, geometry).data
+    np.testing.assert_array_equal(parallel, blocked)
+
+
 @pytest.mark.parametrize("slab", ["halves", "uneven"])
 @pytest.mark.parametrize("backend", EXACT_FAMILY)
 def test_exact_family_slab_decomposition_is_bit_exact(backend, slab):
@@ -280,7 +317,7 @@ def test_scenario_backend_matches_reference(
 @pytest.mark.scenario
 @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
 def test_scenario_exact_family_is_bit_identical(scenario):
-    """Redundancy weighting must not break vectorized ≡ blocked bit-equality."""
+    """Redundancy weighting must not break the family's bit-equality."""
     volumes = [
         reconstruct_scenario(
             scenario, scenario_base_geometry(), scenario_base_stack("float32"),
@@ -288,7 +325,8 @@ def test_scenario_exact_family_is_bit_identical(scenario):
         ).volume.data
         for backend in EXACT_FAMILY
     ]
-    np.testing.assert_array_equal(volumes[0], volumes[1])
+    for other in volumes[1:]:
+        np.testing.assert_array_equal(volumes[0], other)
 
 
 @pytest.mark.scenario
@@ -404,6 +442,24 @@ def test_plan_tiles_covers_slab_exactly():
     for z0, z1, y0, y1 in tiles:
         covered[z0:z1, y0:y1] += 1
     np.testing.assert_array_equal(covered, 1)
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("workers", WORKER_COUNTS + (5,))
+def test_refined_partition_is_disjoint_and_exact(workers):
+    """Refinement + round-robin sharding still covers every (z, y) once."""
+    tiles = refine_tiles(plan_tiles(9, 14, 18, 26, byte_budget=1 << 25), workers)
+    assert len(tiles) >= min(workers, 9 * 14)
+    shards = partition_tiles(tiles, workers)
+    assert len(shards) <= workers
+    covered = np.zeros((9, 14), dtype=int)
+    for shard in shards:
+        for z0, z1, y0, y1 in shard:
+            covered[z0:z1, y0:y1] += 1
+    np.testing.assert_array_equal(covered, 1)
+    # Refinement is deterministic: same inputs, same plan.
+    again = refine_tiles(plan_tiles(9, 14, 18, 26, byte_budget=1 << 25), workers)
+    assert tiles == again
 
 
 # --------------------------------------------------------------------------- #

@@ -102,6 +102,53 @@ class TestReconstructCommand:
         assert "error" in capsys.readouterr().err
 
 
+@pytest.mark.parallel
+class TestWorkersFlag:
+    """The --workers error paths follow the ValueError -> exit-2 convention."""
+
+    @pytest.mark.parametrize("command", [
+        ["reconstruct", "--backend", "parallel"],
+        ["submit", "--problem", "512x512x1024->256x256x256", "--gpus", "4"],
+    ])
+    @pytest.mark.parametrize("workers", ["0", "-1"])
+    def test_non_positive_workers_exits_2(self, command, workers, capsys):
+        assert main(command + ["--workers", workers]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be a positive integer" in err
+
+    def test_serve_non_positive_workers_exits_2(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "--jobs", "2", "-o", str(trace_path)]) == 0
+        assert main(["serve", "--trace", str(trace_path), "--workers", "0"]) == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_workers_require_parallel_backend(self, capsys):
+        assert main(["reconstruct", "--workers", "2"]) == 2
+        assert "parallel" in capsys.readouterr().err
+
+    def test_reconstruct_with_workers_matches_blocked(self, capsys):
+        code = main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                     "--backend", "blocked"])
+        assert code == 0
+        blocked = json.loads(capsys.readouterr().out)
+        code = main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                     "--backend", "parallel", "--workers", "2"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["backend"] == "parallel" and printed["workers"] == 2
+        # Bit-identical family: the extrema agree exactly, not approximately.
+        assert printed["volume_min"] == blocked["volume_min"]
+        assert printed["volume_max"] == blocked["volume_max"]
+
+    def test_submit_with_workers_reports_real_execution(self, capsys):
+        assert main(["submit", "--problem", "512x512x1024->256x256x256",
+                     "--gpus", "4", "--workers", "1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "completed"
+        assert record["workers"] >= 1
+        assert record["executed_wall_s"] > 0
+
+
 class TestPredictCommand:
     def test_default_4k_problem(self, capsys):
         assert main(["predict", "--gpus", "2048"]) == 0

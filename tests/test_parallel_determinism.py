@@ -1,0 +1,248 @@
+"""Concurrency-determinism harness for the ``parallel`` backend.
+
+The backend's whole contract is that concurrency is *invisible* in the
+output: workers own disjoint tiles of one preallocated volume, so the bits
+may depend only on the input stack — never on worker count, scheduling
+order, pool reuse or repetition.  This module locks that down:
+
+* **same bits across repeated runs** — two executions of the identical
+  reconstruction on one backend instance (a reused, warm pool) are
+  byte-identical;
+* **same bits across worker counts** — workers ∈ {1, 2, 3, 4} all produce
+  the identical volume, equal to the single-threaded ``blocked`` backend,
+  through the full ``FDKReconstructor`` path (filter + back-project);
+* **golden-acquisition hashes** — on the pinned 32³ golden acquisition
+  (full scan and Parker-weighted short scan), ``parallel`` reproduces the
+  exact vectorized-family hash at every worker count and stays within the
+  conformance RMSE of the checked-in golden volumes;
+* **no leaked threads** — after ``FDKReconstructor`` teardown every worker
+  thread is joined (the accounting idiom of ``repro.mpi.engine``: all
+  threads this package starts are named, joinable and attributable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import BlockedBackend, ParallelBackend, get_backend
+from repro.backends.parallel import WORKER_THREAD_PREFIX, WorkerPool
+from repro.core import FDKReconstructor, default_geometry_for_problem
+from repro.core.types import ProjectionStack
+from repro.scenarios import reconstruct_scenario
+
+import test_golden_fdk as golden
+
+pytestmark = pytest.mark.parallel
+
+DATA_DIR = Path(__file__).parent / "data"
+
+WORKER_COUNTS = (1, 2, 3, 4)
+
+
+def make_stack(geometry, seed: int = 23, *, filtered: bool = True) -> ProjectionStack:
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(
+        (geometry.np_, geometry.nv, geometry.nu)
+    ).astype(np.float32)
+    return ProjectionStack(data=data, angles=geometry.angles, filtered=filtered)
+
+
+def parallel_threads(baseline=()):
+    return [
+        t
+        for t in threading.enumerate()
+        if t.name.startswith(WORKER_THREAD_PREFIX) and t not in baseline
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Repetition and worker-count invariance
+# --------------------------------------------------------------------------- #
+def test_repeated_runs_are_bit_identical():
+    """A warm, reused pool must not perturb a single bit between runs."""
+    geometry = default_geometry_for_problem(nu=28, nv=20, np_=12, nx=18, ny=14, nz=10)
+    stack = make_stack(geometry)
+    with ParallelBackend(workers=4) as backend:
+        first = backend.backproject(stack, geometry, algorithm="proposed").data
+        second = backend.backproject(stack, geometry, algorithm="proposed").data
+    assert first.tobytes() == second.tobytes()
+
+
+@pytest.mark.parametrize("algorithm", ["proposed", "standard"])
+def test_worker_counts_agree_end_to_end(algorithm):
+    """Full FDK (filter + BP) is invariant across workers and equals blocked."""
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=8, nx=16, ny=16, nz=16)
+    raw = make_stack(geometry, filtered=False)
+    reference_bytes = None
+    for workers in WORKER_COUNTS:
+        with FDKReconstructor(
+            geometry=geometry, algorithm=algorithm, backend="parallel",
+            workers=workers,
+        ) as reconstructor:
+            volume = reconstructor.reconstruct(raw.copy()).volume.data
+        if reference_bytes is None:
+            reference_bytes = volume.tobytes()
+        assert volume.tobytes() == reference_bytes, f"workers={workers} diverged"
+    blocked = FDKReconstructor(geometry=geometry, algorithm=algorithm,
+                               backend="blocked").reconstruct(raw.copy())
+    assert blocked.volume.data.tobytes() == reference_bytes
+
+
+def test_streaming_and_whole_stack_dispatch_agree():
+    """The rank runtime's per-projection add() path equals add_stack()."""
+    geometry = default_geometry_for_problem(nu=28, nv=20, np_=6, nx=18, ny=14, nz=10)
+    stack = make_stack(geometry)
+    with ParallelBackend(workers=3) as backend:
+        whole = backend.backproject(stack, geometry, algorithm="proposed").data
+        acc = backend.accumulator(geometry, algorithm="proposed")
+        for angle, projection in stack:
+            acc.add(projection, angle)
+        streamed = acc.volume().data
+    np.testing.assert_array_equal(streamed, whole)
+
+
+# --------------------------------------------------------------------------- #
+# Golden-acquisition hashes (full scan and short scan)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def family_hashes():
+    """Vectorized-family digest per golden family, computed once."""
+    return {
+        family: hashlib.sha256(
+            golden.reconstruct(family, "vectorized").tobytes()
+        ).hexdigest()
+        for family in sorted(golden.FAMILIES)
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("family", sorted(golden.FAMILIES))
+def test_parallel_reproduces_golden_acquisition_hash(family, workers, family_hashes):
+    """Every worker count reproduces the family hash on the 32³ golden scans."""
+    geometry = golden.golden_geometry()
+    stack = golden.golden_stack()
+    if family == "full":
+        with FDKReconstructor(
+            geometry=geometry, backend="parallel", workers=workers
+        ) as reconstructor:
+            volume = reconstructor.reconstruct(stack).volume.data
+    else:
+        with ParallelBackend(workers=workers) as backend:
+            volume = reconstruct_scenario(
+                "short_scan", geometry, stack, backend=backend
+            ).volume.data
+    digest = hashlib.sha256(volume.tobytes()).hexdigest()
+    assert digest == family_hashes[family], (
+        f"parallel workers={workers} drifted from the vectorized family on "
+        f"the golden {family} acquisition"
+    )
+
+
+@pytest.mark.parametrize("family", sorted(golden.FAMILIES))
+def test_parallel_tracks_checked_in_golden_volume(family):
+    """And the result stays inside the conformance RMSE of the pinned npz."""
+    stem = golden.FAMILIES[family]
+    pinned = np.load(DATA_DIR / f"{stem}.npz")["volume"]
+    meta = json.loads((DATA_DIR / f"{stem}.json").read_text())
+    assert hashlib.sha256(pinned.tobytes()).hexdigest() == meta["sha256"]
+    volume = golden.reconstruct(family, "parallel")
+    assert golden.rel_rmse(volume, pinned) <= golden.BACKEND_RMSE_TOL
+
+
+# --------------------------------------------------------------------------- #
+# Thread hygiene
+# --------------------------------------------------------------------------- #
+def test_no_leaked_threads_after_reconstructor_teardown():
+    """close() joins every worker the reconstructor's pool started."""
+    baseline = parallel_threads()
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=8, nx=16, ny=16, nz=16)
+    stack = make_stack(geometry, filtered=False)
+    reconstructor = FDKReconstructor(
+        geometry=geometry, backend="parallel", workers=3
+    )
+    reconstructor.reconstruct(stack)
+    assert parallel_threads(baseline), "a 3-worker run should have started a pool"
+    reconstructor.close()
+    leaked = [t for t in parallel_threads(baseline) if t.is_alive()]
+    assert not leaked, f"leaked worker threads: {[t.name for t in leaked]}"
+    reconstructor.close()  # idempotent
+
+
+def test_closed_pool_restarts_lazily():
+    """Closing a shared backend must never poison later users."""
+    backend = ParallelBackend(workers=2)
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=4, nx=12, ny=12, nz=8)
+    stack = make_stack(geometry)
+    first = backend.backproject(stack, geometry).data
+    backend.close()
+    assert not backend.pool_started
+    second = backend.backproject(stack, geometry).data  # restarts lazily
+    np.testing.assert_array_equal(first, second)
+    backend.close()
+
+
+def test_workers_one_never_starts_threads():
+    """workers=1 is genuinely single-threaded: inline execution, no pool."""
+    baseline = parallel_threads()
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=4, nx=12, ny=12, nz=8)
+    stack = make_stack(geometry)
+    with ParallelBackend(workers=1) as backend:
+        backend.backproject(stack, geometry)
+        assert not backend.pool_started
+    assert parallel_threads(baseline) == []
+
+
+def test_malformed_env_workers_fails_on_use_not_import(monkeypatch):
+    """A bad REPRO_PARALLEL_WORKERS must not poison package import.
+
+    The registry instance resolves its worker count lazily, so the error
+    surfaces as a ValueError on the first parallel execution — inside the
+    CLI's normal exit-2 path — never as an import-time crash of unrelated
+    commands.
+    """
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "banana")
+    backend = ParallelBackend()  # construction must succeed
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=4, nx=12, ny=12, nz=8)
+    stack = make_stack(geometry)
+    with pytest.raises(ValueError, match="REPRO_PARALLEL_WORKERS"):
+        backend.backproject(stack, geometry)
+    monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+    assert ParallelBackend().workers == 2
+
+
+def test_distributed_run_joins_config_owned_pool():
+    """IFDKFramework must not leak the pool of an explicit workers count."""
+    from repro.pipeline import IFDKConfig, IFDKFramework
+
+    baseline = parallel_threads()
+    geometry = default_geometry_for_problem(nu=24, nv=24, np_=8, nx=12, ny=12, nz=8)
+    config = IFDKConfig(
+        geometry=geometry, rows=2, columns=2, backend="parallel", workers=2
+    )
+    stack = make_stack(geometry, filtered=False)
+    result = IFDKFramework(config).reconstruct(stack)
+    assert result.volume.data.shape == (8, 12, 12)
+    leaked = [t for t in parallel_threads(baseline) if t.is_alive()]
+    assert not leaked, f"leaked worker threads: {[t.name for t in leaked]}"
+
+
+def test_worker_pool_validation_and_error_propagation():
+    with pytest.raises(ValueError, match="positive integer"):
+        WorkerPool(0)
+    with pytest.raises(ValueError, match="positive integer"):
+        ParallelBackend(workers=-2)
+    pool = WorkerPool(2)
+    boom = RuntimeError("tile failed")
+
+    def bad():
+        raise boom
+
+    with pytest.raises(RuntimeError, match="tile failed"):
+        pool.run([bad, lambda: None])
+    pool.close()
