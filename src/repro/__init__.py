@@ -39,13 +39,24 @@ Sub-packages
     Acquisition scenarios: declarative short-scan, offset-detector,
     sparse-view and noisy protocols with redundancy weighting, locked
     down by the scenario × backend conformance matrix.
+``repro.api``
+    The public front door: the declarative, serializable
+    :class:`~repro.api.ReconstructionPlan` (one canonical description of
+    a reconstruction, with a stable content hash) and the
+    :class:`~repro.api.Session` executor that compiles a plan onto the
+    FDK, iFDK or service path and returns a unified result.
 """
 
-from . import backends, bench, core, gpusim, mpi, pfs, pipeline, scenarios, service
+from . import api, backends, bench, core, gpusim, mpi, pfs, pipeline, scenarios, service
+from .api import ReconstructionPlan, RunResult, Session
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ReconstructionPlan",
+    "RunResult",
+    "Session",
+    "api",
     "backends",
     "bench",
     "core",

@@ -1,0 +1,44 @@
+"""The public front door: declarative plans and their execution sessions.
+
+``repro.api`` unifies the framework's deployment shapes — single-node FDK,
+distributed iFDK and the multi-tenant service — behind one canonical,
+serializable object.  Describe a reconstruction once as a
+:class:`ReconstructionPlan`, persist it as JSON, hash it with
+:meth:`ReconstructionPlan.key`, and execute it anywhere through a
+:class:`Session`:
+
+>>> from repro.api import ReconstructionPlan, Session, plan_for_problem
+>>> plan = plan_for_problem("96x96x120->64x64x64", backend="vectorized")
+>>> plan = ReconstructionPlan.from_json(plan.to_json())   # lossless
+>>> with Session(plan) as session:                        # doctest: +SKIP
+...     result = session.run(stack)
+
+The plan's content hash is the identity the whole stack speaks:
+:class:`~repro.service.job.ReconstructionJob` records it, the service's
+filtered-projection cache keys on the plan's filtering identity
+(:meth:`ReconstructionPlan.filter_key`), and the CLI accepts plan files
+everywhere a reconstruction is described (``repro reconstruct --plan``,
+``repro submit --plan``, ``repro plan emit|validate|describe``).
+"""
+
+from .plan import (
+    PLAN_VERSION,
+    TARGETS,
+    ReconstructionPlan,
+    acquisition_token,
+    filter_cache_identity,
+    plan_for_problem,
+)
+from .session import RunResult, Session, run_plan
+
+__all__ = [
+    "PLAN_VERSION",
+    "TARGETS",
+    "ReconstructionPlan",
+    "RunResult",
+    "Session",
+    "acquisition_token",
+    "filter_cache_identity",
+    "plan_for_problem",
+    "run_plan",
+]

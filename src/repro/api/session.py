@@ -1,0 +1,245 @@
+"""Plan execution: compile a :class:`ReconstructionPlan` once, run it many times.
+
+A :class:`Session` is the executable form of a plan.  Construction
+validates the plan and resolves everything it names — the compute backend
+(including a dedicated worker pool when the plan asks for one), the
+acquisition scenario and its derived geometry, and the execution engine
+for the plan's target:
+
+``fdk``
+    A configured :class:`~repro.core.fdk.FDKReconstructor`.
+``ifdk``
+    An :class:`~repro.pipeline.ifdk.IFDKFramework` over
+    :meth:`IFDKConfig.from_plan <repro.pipeline.config.IFDKConfig.from_plan>`.
+``service``
+    A :class:`~repro.service.service.ReconstructionService` the session
+    submits plan-derived jobs to, *plus* the same single-node compute path
+    for the functional volume — so the returned volume is bit-identical
+    across the ``fdk`` and ``service`` targets while the job record carries
+    the scheduling outcome.
+
+Every run returns a unified :class:`RunResult` regardless of target.
+Sessions own the resources they resolve (worker pools, service
+dispatchers); close them with :meth:`Session.close` or a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.fdk import FDKReconstructor
+from ..core.geometry import CBCTGeometry
+from ..core.types import ProjectionStack, ReconstructionProblem, Volume
+from .plan import ReconstructionPlan
+
+__all__ = ["RunResult", "Session", "run_plan"]
+
+
+@dataclass
+class RunResult:
+    """Unified outcome of one plan execution, for every target."""
+
+    volume: Volume
+    plan: ReconstructionPlan
+    plan_key: str
+    target: str
+    geometry: CBCTGeometry
+    filter_seconds: float
+    backprojection_seconds: float
+    wall_seconds: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def problem(self) -> ReconstructionProblem:
+        """The *executed* problem (scenario-shaped input, full output)."""
+        return self.geometry.problem()
+
+    @property
+    def gups(self) -> float:
+        """Back-projection throughput of the run in giga-updates/second."""
+        return self.problem.gups(max(self.backprojection_seconds, 1e-12))
+
+    def as_record(self) -> Dict[str, Any]:
+        """Flat dictionary for reports (details dict merged in)."""
+        record: Dict[str, Any] = {
+            "plan_key": self.plan_key,
+            "target": self.target,
+            "problem": str(self.problem),
+            "backend": self.plan.backend,
+            "scenario": self.plan.scenario,
+            "workers": self.plan.workers,
+            "filter_seconds": self.filter_seconds,
+            "backprojection_seconds": self.backprojection_seconds,
+            "wall_seconds": self.wall_seconds,
+            "gups": self.gups,
+        }
+        record.update(self.details)
+        return record
+
+
+class Session:
+    """A compiled plan, ready to execute projection stacks.
+
+    Parameters
+    ----------
+    plan:
+        The declarative plan to compile.  Validated on entry (a session
+        can never hold an invalid plan).
+    """
+
+    def __init__(self, plan: ReconstructionPlan):
+        plan.validate()
+        self.plan = plan
+        self.plan_key = plan.key()
+        self._scenario = plan.resolved_scenario()
+        self._geometry = plan.scenario_geometry()
+        self._framework = None
+        self._service = None
+        self._reconstructor: Optional[FDKReconstructor] = None
+        if plan.target == "ifdk":
+            from ..pipeline.config import IFDKConfig
+            from ..pipeline.ifdk import IFDKFramework
+
+            self._framework = IFDKFramework(IFDKConfig.from_plan(plan))
+        else:
+            # Single-node compute path, shared by the fdk and service
+            # targets.  For the service target the plan's workers size the
+            # dispatcher, not the backend pool, so they are not forwarded.
+            fdk_plan = (
+                plan if plan.target == "fdk" else plan.with_updates(workers=None)
+            )
+            self._reconstructor = FDKReconstructor.from_plan(fdk_plan)
+            if plan.target == "service":
+                from ..service.service import ReconstructionService
+
+                self._service = ReconstructionService(
+                    plan.cluster_gpus,
+                    policy="slo",
+                    backend=plan.backend,
+                    workers=plan.workers or 0,
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def geometry(self) -> CBCTGeometry:
+        """The executed (scenario-shaped) acquisition geometry."""
+        return self._geometry
+
+    @property
+    def service(self):
+        """The owned :class:`ReconstructionService` (service target only)."""
+        return self._service
+
+    # ------------------------------------------------------------------ #
+    def _prepare_stack(self, stack: ProjectionStack) -> ProjectionStack:
+        """Apply the plan's scenario to the base acquisition when needed.
+
+        Sessions accept the *base* stack the plan's geometry describes; a
+        non-ideal scenario selects/crops/perturbs it here, exactly as the
+        CLI and :func:`repro.scenarios.reconstruct_scenario` always have.
+        A stack whose shape already matches the scenario geometry (and no
+        longer the base) passes through untransformed.  For scenarios that
+        preserve the acquisition shape (e.g. ``noisy``) the two are
+        indistinguishable, so the input is *always* treated as the base
+        stack — pre-applying such a scenario and running it through a
+        session would apply it twice; hand a pre-transformed stack to
+        :meth:`FDKReconstructor.reconstruct` directly instead.
+        """
+        if self._scenario.is_ideal:
+            return stack
+        base = self.plan.geometry
+        if (stack.np_, stack.nv, stack.nu) == (base.np_, base.nv, base.nu):
+            _, scenario_stack = self._scenario.apply(base, stack)
+            return scenario_stack
+        g = self._geometry
+        if (stack.np_, stack.nv, stack.nu) == (g.np_, g.nv, g.nu):
+            return stack  # already scenario-shaped
+        raise ValueError(
+            f"projection stack {stack.np_}x{stack.nv}x{stack.nu} matches "
+            f"neither the plan's base acquisition "
+            f"({base.np_}x{base.nv}x{base.nu}) nor its scenario geometry "
+            f"({g.np_}x{g.nv}x{g.nu})"
+        )
+
+    def run(self, stack: ProjectionStack, *, dataset_id: str = "") -> RunResult:
+        """Execute the plan on one projection stack.
+
+        ``stack`` is the raw acquisition on the plan's base geometry (a
+        pre-filtered stack is accepted for ideal scans, as with
+        :meth:`FDKReconstructor.reconstruct`).  ``dataset_id`` names the
+        dataset for service-target cache identity; it defaults to a
+        content fingerprint of the stack.
+        """
+        stack = self._prepare_stack(stack)
+        details: Dict[str, Any] = {}
+        start = time.perf_counter()
+        if self._framework is not None:
+            result = self._framework.reconstruct(stack)
+            stage_totals = result.stage_totals()
+            wall = time.perf_counter() - start
+            details.update(
+                rows=self.plan.rows,
+                columns=self.plan.columns,
+                overlap_delta=result.mean_overlap_delta(),
+                modelled_runtime_at_scale=result.modelled.t_runtime,
+            )
+            return RunResult(
+                volume=result.volume,
+                plan=self.plan,
+                plan_key=self.plan_key,
+                target=self.plan.target,
+                geometry=self._geometry,
+                filter_seconds=stage_totals.get("filter", 0.0),
+                backprojection_seconds=stage_totals.get("backprojection", 0.0),
+                wall_seconds=wall,
+                details=details,
+            )
+        fdk = self._reconstructor.reconstruct(stack)
+        if self._service is not None:
+            from ..service.cache import fingerprint_stack
+            from ..service.job import JobState
+
+            job = self._service.submit_plan(
+                self.plan, dataset_id=dataset_id or fingerprint_stack(stack)
+            )
+            if job.state is not JobState.REJECTED:
+                self._service.run_until_idle()
+            details["job"] = job.as_record()
+            details["accepted"] = job.state is not JobState.REJECTED
+        wall = time.perf_counter() - start
+        return RunResult(
+            volume=fdk.volume,
+            plan=self.plan,
+            plan_key=self.plan_key,
+            target=self.plan.target,
+            geometry=self._geometry,
+            filter_seconds=fdk.filter_seconds,
+            backprojection_seconds=fdk.backprojection_seconds,
+            wall_seconds=wall,
+            details=details,
+        )
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release every resource the session resolved (idempotent)."""
+        if self._reconstructor is not None:
+            self._reconstructor.close()
+        if self._service is not None:
+            self._service.close()
+        if self._framework is not None:
+            self._framework.config.close_backend()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def run_plan(plan: ReconstructionPlan, stack: ProjectionStack) -> RunResult:
+    """One-call plan execution: compile, run, release."""
+    with Session(plan) as session:
+        return session.run(stack)

@@ -58,6 +58,7 @@ __all__ = [
     "plan_tiles",
     "register_backend",
     "resolve_backend",
+    "validate_backend",
 ]
 
 #: The backend every layer defaults to.
@@ -112,13 +113,35 @@ def resolve_backend(
     """
     if workers is None:
         return get_backend(name)
-    resolved = get_backend(name).name if not isinstance(name, str) else name
-    if resolved != ParallelBackend.name:
-        raise ValueError(
-            f"workers={workers!r} requires the 'parallel' backend, but "
-            f"backend is {resolved!r}"
-        )
+    validate_backend(name, workers=workers)
     return ParallelBackend(workers=workers)
+
+
+def validate_backend(
+    name: Union[str, ComputeBackend], *, workers: Union[int, None] = None
+) -> str:
+    """Check a backend name / worker-count combination without resolving it.
+
+    The single source of the resolution rules — the name must be
+    registered, a worker count must be a positive integer, and an explicit
+    worker count requires the ``parallel`` backend.  :func:`resolve_backend`
+    enforces them by calling this; the declarative plan layer calls it
+    directly because it validates long before anything executes and must
+    never construct a dedicated backend or a worker pool.  Returns the
+    canonical backend name.
+    """
+    resolved = get_backend(name).name
+    if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer (got {workers!r})"
+            )
+        if resolved != ParallelBackend.name:
+            raise ValueError(
+                f"workers={workers!r} requires the 'parallel' backend, but "
+                f"backend is {resolved!r}"
+            )
+    return resolved
 
 
 register_backend(ReferenceBackend)

@@ -1,13 +1,19 @@
 """Command-line interface for the iFDK reproduction.
 
-Seven subcommands cover the workflows a downstream user needs:
+Eight subcommands cover the workflows a downstream user needs:
 
 ``reconstruct``
     Synthesize Shepp-Logan projections for a given problem size and run the
     FDK pipeline — single-node or distributed on the simulated cluster —
     writing the volume (as ``.npy``) and a JSON report.  ``--scenario``
     replays the acquisition through a non-ideal protocol (short-scan,
-    offset-detector, sparse-view, noisy) before reconstructing.
+    offset-detector, sparse-view, noisy) before reconstructing, and
+    ``--plan plan.json`` executes a declarative
+    :class:`~repro.api.ReconstructionPlan` instead of explicit flags.
+``plan``
+    Emit, validate or describe a declarative reconstruction plan: the
+    canonical JSON object every execution surface (this CLI, the library
+    :class:`~repro.api.Session`, the service) shares.
 ``scenarios``
     List the registered acquisition-scenario presets.
 ``predict``
@@ -21,9 +27,15 @@ Seven subcommands cover the workflows a downstream user needs:
     (``repro.service``): SLO-aware GPU packing, admission control and the
     filtered-projection cache, reporting throughput and tail latency.
 ``submit``
-    Run a single job through the service and print its report.
+    Run a single job through the service and print its report (also
+    accepts ``--plan``).
 ``trace``
     Generate a synthetic multi-tenant workload trace for ``serve``.
+
+The flags that describe a reconstruction (problem, backend, workers,
+scenario, ramp filter) are registered once by :func:`add_plan_args` and
+folded into a plan by :func:`plan_from_args`, so every subcommand speaks
+the same parameter surface and new plan fields reach all of them at once.
 
 Invoke as ``python -m repro.cli <subcommand> ...`` (or ``repro ...`` once
 the package is installed).
@@ -39,28 +51,172 @@ from typing import List, Optional
 
 import numpy as np
 
-from .backends import available_backends
+from .api import TARGETS, ReconstructionPlan, Session, plan_for_problem
+from .backends import DEFAULT_BACKEND, available_backends
 from .bench import TABLE4_PROBLEMS, format_table, paper_reference_table4
 from .core import (
     EllipsoidPhantom,
-    FDKReconstructor,
-    default_geometry_for_problem,
     forward_project_analytic,
     shepp_logan_ellipsoids,
 )
 from .core.types import problem_from_string
 from .gpusim import KERNEL_VARIANTS, BackprojectionCostModel, TESLA_V100
-from .pipeline import IFDKConfig, IFDKFramework, IFDKPerformanceModel, choose_grid
+from .pipeline import IFDKPerformanceModel, choose_grid
 from .scenarios import available_scenarios, get_scenario
 from .service import (
     AdmissionPolicy,
     ArrivalTrace,
-    ReconstructionJob,
+    JobState,
     ReconstructionService,
     synthetic_trace,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_plan_args", "plan_from_args"]
+
+#: Default problem specs per subcommand (shown in help, filled by
+#: :func:`plan_from_args` when the flag is omitted).
+DEFAULT_RECONSTRUCT_PROBLEM = "96x96x120->64x64x64"
+DEFAULT_SUBMIT_PROBLEM = "2048x2048x1024->1024x1024x1024"
+
+#: Plan fields that can also be given as explicit flags.  When ``--plan``
+#: supplies the plan, any of these being set is a conflict (exit 2) — the
+#: plan file is the single source of truth.
+_PLAN_FLAG_NAMES = (
+    "problem", "backend", "workers", "scenario", "ramp_filter",
+    "algorithm", "distributed", "rows", "columns", "gpus", "slo",
+    "priority", "target",
+)
+
+
+def add_plan_args(
+    parser: argparse.ArgumentParser,
+    *,
+    problem: Optional[str] = None,
+    backend: bool = True,
+    workers: bool = True,
+    scenario: bool = True,
+    ramp_filter: bool = False,
+    plan_file: bool = False,
+) -> None:
+    """Register the shared reconstruction-plan flags on a subparser.
+
+    Every subcommand that describes (part of) a reconstruction calls this
+    once instead of re-declaring its own copies of ``--problem`` /
+    ``--backend`` / ``--workers`` / ``--scenario`` — so a new plan-level
+    flag lands on all of them simultaneously instead of drifting.  All
+    defaults are ``None`` sentinels: :func:`plan_from_args` resolves them,
+    which is what makes ``--plan`` conflict detection possible.
+    """
+    if problem is not None:
+        parser.add_argument(
+            "--problem", default=None,
+            help=f"problem spec NuxNvxNp->NxxNyxNz (default: {problem})",
+        )
+        parser.set_defaults(default_problem=problem)
+    if backend:
+        parser.add_argument(
+            "--backend", choices=available_backends(), default=None,
+            help="compute backend for the filter/back-projection hot paths "
+                 f"(default: {DEFAULT_BACKEND})",
+        )
+    if workers:
+        parser.add_argument(
+            "--workers", type=int, default=None,
+            help="worker threads: a dedicated pool for the parallel backend "
+                 "(reconstruct), or the real-execution dispatcher width "
+                 "(serve/submit)",
+        )
+    if scenario:
+        parser.add_argument(
+            "--scenario", choices=available_scenarios(), default=None,
+            help="acquisition-scenario preset (default: full_scan; "
+                 "see 'repro scenarios')",
+        )
+    if ramp_filter:
+        parser.add_argument(
+            "--ramp-filter", dest="ramp_filter", default=None,
+            help="ramp-filter window (default: ram-lak)",
+        )
+    if plan_file:
+        parser.add_argument(
+            "--plan", type=Path, default=None, metavar="PLAN_JSON",
+            help="load the reconstruction plan from this JSON file "
+                 "(see 'repro plan'; conflicts with explicit plan flags)",
+        )
+
+
+def _explicit_plan_flags(args: argparse.Namespace) -> dict:
+    """The plan-level flags the user explicitly set (name -> value)."""
+    explicit = {}
+    for name in _PLAN_FLAG_NAMES:
+        value = getattr(args, name, None)
+        # Identity checks: 0 is a legitimate explicit value (== False!).
+        if value is not None and value is not False:
+            explicit[name] = value
+    return explicit
+
+
+def _load_plan(path: Path) -> ReconstructionPlan:
+    """Read and parse a plan file (ValueError -> exit code 2)."""
+    if not path.exists():
+        raise ValueError(f"plan file {path} does not exist")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read plan file {path}: {exc}") from exc
+    return ReconstructionPlan.from_json(text)
+
+
+def plan_from_args(
+    args: argparse.Namespace, *, default_target: str = "fdk"
+) -> ReconstructionPlan:
+    """Fold parsed arguments into a validated :class:`ReconstructionPlan`.
+
+    With ``--plan`` the file is the plan — any explicit plan-level flag
+    alongside it is a conflict (``ValueError`` -> exit 2, per the CLI
+    error convention).  Without it, the shared flags plus per-subcommand
+    defaults build the plan.
+    """
+    explicit = _explicit_plan_flags(args)
+    plan_path = getattr(args, "plan", None)
+    if plan_path is not None:
+        if explicit:
+            flags = ", ".join(
+                "--" + name.replace("_", "-") for name in sorted(explicit)
+            )
+            raise ValueError(
+                f"--plan conflicts with explicit plan flags ({flags}); "
+                "edit the plan file (or 'repro plan emit' a new one) instead"
+            )
+        return _load_plan(plan_path).validate()
+    target = getattr(args, "target", None) or default_target
+    if getattr(args, "distributed", False):
+        target = "ifdk"
+    # Explicit values always reach the plan (validate() rejects the
+    # nonsensical combinations, e.g. rows on a single-node target, rather
+    # than silently dropping them); omitted flags fall through to the
+    # ReconstructionPlan dataclass defaults, so the CLI cannot drift from
+    # the canonical definition of "a default plan".
+    fields = {"target": target}
+    flag_to_field = {
+        "scenario": "scenario", "backend": "backend", "workers": "workers",
+        "ramp_filter": "ramp_filter", "algorithm": "algorithm",
+        "rows": "rows", "columns": "columns", "gpus": "cluster_gpus",
+        "priority": "priority", "slo": "slo_seconds",
+    }
+    for flag, field in flag_to_field.items():
+        value = getattr(args, flag, None)
+        if value is not None:
+            fields[field] = value
+    _validated_workers(fields.get("workers"))
+    if target == "ifdk":
+        fields.setdefault("rows", 2)
+        fields.setdefault("columns", 2)
+    plan = plan_for_problem(
+        getattr(args, "problem", None) or getattr(args, "default_problem"),
+        **fields,
+    )
+    return plan.validate()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,21 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     rec = sub.add_parser("reconstruct", help="reconstruct a synthetic Shepp-Logan scan")
-    rec.add_argument("--problem", default="96x96x120->64x64x64",
-                     help="problem spec NuxNvxNp->NxxNyxNz (default: %(default)s)")
-    rec.add_argument("--algorithm", choices=("proposed", "standard"), default="proposed")
-    rec.add_argument("--ramp-filter", default="ram-lak")
-    rec.add_argument("--backend", choices=available_backends(), default="reference",
-                     help="compute backend for the filter/back-projection hot "
-                          "paths (default: %(default)s)")
-    rec.add_argument("--workers", type=int, default=None,
-                     help="worker threads for the parallel backend (requires "
-                          "--backend parallel; results are bit-identical for "
-                          "every worker count)")
-    rec.add_argument("--scenario", choices=available_scenarios(),
-                     default="full_scan",
-                     help="acquisition-scenario preset to replay the scan "
-                          "through (default: %(default)s; see 'repro scenarios')")
+    add_plan_args(
+        rec, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True, plan_file=True
+    )
+    rec.add_argument("--algorithm", choices=("proposed", "standard"), default=None,
+                     help="back-projection algorithm (default: proposed)")
     rec.add_argument("--distributed", action="store_true",
                      help="run on the simulated cluster instead of a single node")
     rec.add_argument("--rows", type=int, default=None, help="R of the rank grid")
@@ -95,6 +241,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the volume to this .npy file")
     rec.add_argument("--report", type=Path, default=None,
                      help="write a JSON run report to this file")
+
+    plan_p = sub.add_parser(
+        "plan", help="emit, validate or describe a declarative reconstruction plan"
+    )
+    plan_p.add_argument("action", choices=("emit", "validate", "describe"),
+                        help="emit a plan from flags, or check/describe a plan file")
+    plan_p.add_argument("plan_file", nargs="?", type=Path,
+                        help="plan JSON file (for validate/describe)")
+    add_plan_args(plan_p, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True)
+    plan_p.add_argument("--algorithm", choices=("proposed", "standard"), default=None,
+                        help="back-projection algorithm (default: proposed)")
+    plan_p.add_argument("--target", choices=TARGETS, default=None,
+                        help="execution target (default: fdk)")
+    plan_p.add_argument("--rows", type=int, default=None, help="R of the rank grid")
+    plan_p.add_argument("--columns", type=int, default=None, help="C of the rank grid")
+    plan_p.add_argument("--gpus", type=int, default=None,
+                        help="service cluster size (default: 16)")
+    plan_p.add_argument("--slo", type=float, default=None,
+                        help="service latency SLO in seconds")
+    plan_p.add_argument("--priority", type=int, default=None,
+                        help="service priority class, 0 = most urgent")
+    plan_p.add_argument("--output", "-o", type=Path, default=None,
+                        help="write the emitted plan to this file (default: stdout)")
 
     pred = sub.add_parser("predict", help="evaluate the Eq. 8-19 performance model")
     pred.add_argument("--problem", default="2048x2048x4096->4096x4096x4096")
@@ -118,32 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", choices=("slo", "fifo"), default="slo",
                        help="scheduling policy (default: %(default)s)")
     serve.add_argument("--max-queue-depth", type=int, default=256)
-    serve.add_argument("--backend", choices=available_backends(), default="reference",
-                       help="compute backend the cluster's ranks run")
-    serve.add_argument("--workers", type=int, default=None,
-                       help="run each placed job for real (a pilot FDK "
-                            "execution) on a pool of this many workers, and "
-                            "report the measured worker accounting")
+    add_plan_args(serve, scenario=False)
     serve.add_argument("--report", type=Path, default=None,
                        help="write the full JSON service report to this file")
 
     submit = sub.add_parser("submit", help="run one job through the service")
-    submit.add_argument("--problem", default="2048x2048x1024->1024x1024x1024")
-    submit.add_argument("--gpus", type=int, default=16, help="cluster size")
+    add_plan_args(submit, problem=DEFAULT_SUBMIT_PROBLEM, plan_file=True)
+    submit.add_argument("--gpus", type=int, default=None,
+                        help="cluster size (default: 16)")
     submit.add_argument("--slo", type=float, default=None,
                         help="latency SLO in seconds (default: best effort)")
-    submit.add_argument("--priority", type=int, default=1,
-                        help="priority class, 0 = most urgent")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="priority class, 0 = most urgent (default: 1)")
     submit.add_argument("--dataset", default="",
                         help="dataset content key (enables cache reuse)")
-    submit.add_argument("--backend", choices=available_backends(), default="reference",
-                        help="compute backend the cluster's ranks run")
-    submit.add_argument("--scenario", choices=available_scenarios(),
-                        default="full_scan",
-                        help="acquisition-scenario preset of the job's dataset")
-    submit.add_argument("--workers", type=int, default=None,
-                        help="also run the job for real (a pilot FDK "
-                             "execution) on a pool of this many workers")
 
     trace = sub.add_parser("trace", help="generate a synthetic workload trace")
     trace.add_argument("--jobs", type=int, default=24)
@@ -151,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--heavy-fraction", type=float, default=0.25,
                        help="fraction of heavy 2K reconstructions")
+    add_plan_args(trace, backend=False, workers=False)
     trace.add_argument("--scenario-mix", default=None, metavar="NAME=W[,NAME=W...]",
                        help="sample job scenarios from this weighted mix, e.g. "
                             "'full_scan=0.6,short_scan=0.3,sparse_view=0.1' "
@@ -190,69 +348,51 @@ def _parse_scenario_mix(spec: Optional[str]):
     return mix
 
 
-def _cmd_reconstruct(args: argparse.Namespace) -> int:
-    from .backends import resolve_backend
+_MODE_BY_TARGET = {"fdk": "single-node", "ifdk": "distributed", "service": "service"}
 
-    workers = _validated_workers(args.workers)
-    # Fail fast on a workers/backend mismatch, before the forward projection.
-    resolve_backend(args.backend, workers=workers)
-    problem = problem_from_string(args.problem)
-    geometry = default_geometry_for_problem(
-        nu=problem.nu, nv=problem.nv, np_=problem.np_,
-        nx=problem.nx, ny=problem.ny, nz=problem.nz,
-    )
-    scenario = get_scenario(args.scenario)
-    if args.distributed and not scenario.is_ideal:
-        print(
-            "error: --scenario presets run single-node; the distributed "
-            "pipeline only serves the ideal full scan for now",
-            file=sys.stderr,
-        )
-        return 2
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    plan = plan_from_args(args)
+    scenario = plan.resolved_scenario()
     phantom = EllipsoidPhantom(shepp_logan_ellipsoids())
-    print(f"forward projecting {problem} ...", file=sys.stderr)
-    stack = forward_project_analytic(phantom, geometry)
+    print(f"forward projecting {plan.problem} ...", file=sys.stderr)
+    stack = forward_project_analytic(phantom, plan.geometry)
     if not scenario.is_ideal:
         print(f"applying acquisition scenario {scenario.name} ...", file=sys.stderr)
-    geometry, stack = scenario.apply(geometry, stack)
 
-    report: dict = {"problem": str(problem), "algorithm": args.algorithm,
-                    "backend": args.backend, "scenario": scenario.name,
-                    "workers": workers,
-                    "projections": stack.np_,
-                    "angular_range": float(geometry.angular_range)}
-    if args.distributed:
-        rows = args.rows or 2
-        columns = args.columns or 2
-        config = IFDKConfig(geometry=geometry, rows=rows, columns=columns,
-                            ramp_filter=args.ramp_filter, backend=args.backend,
-                            workers=workers)
-        result = IFDKFramework(config).reconstruct(stack)
-        volume = result.volume
+    with Session(plan) as session:
+        result = session.run(stack)
+
+    report: dict = {
+        "problem": str(plan.problem),
+        "algorithm": plan.algorithm,
+        "backend": plan.backend,
+        "scenario": plan.scenario,
+        "workers": plan.workers,
+        "plan_key": result.plan_key,
+        "projections": result.problem.np_,
+        "angular_range": float(result.geometry.angular_range),
+        "mode": _MODE_BY_TARGET[plan.target],
+    }
+    if plan.target == "ifdk":
         report.update(
-            mode="distributed",
-            rows=rows,
-            columns=columns,
+            rows=plan.rows,
+            columns=plan.columns,
             wall_seconds=result.wall_seconds,
-            gups=result.gups,
-            overlap_delta=result.mean_overlap_delta(),
-            modelled_runtime_at_scale=result.modelled.t_runtime,
+            gups=result.problem.gups(result.wall_seconds),
+            overlap_delta=result.details["overlap_delta"],
+            modelled_runtime_at_scale=result.details["modelled_runtime_at_scale"],
         )
     else:
-        with FDKReconstructor(
-            geometry=geometry, ramp_filter=args.ramp_filter,
-            algorithm=args.algorithm, backend=args.backend,
-            scenario=scenario, workers=workers,
-        ) as reconstructor:
-            fdk = reconstructor.reconstruct(stack)
-        volume = fdk.volume
         report.update(
-            mode="single-node",
-            filter_seconds=fdk.filter_seconds,
-            backprojection_seconds=fdk.backprojection_seconds,
-            gups=fdk.gups,
+            filter_seconds=result.filter_seconds,
+            backprojection_seconds=result.backprojection_seconds,
+            gups=result.gups,
         )
+        if plan.target == "service":
+            report["job"] = result.details["job"]
 
+    volume = result.volume
     report["volume_min"] = float(volume.data.min())
     report["volume_max"] = float(volume.data.max())
     if args.output is not None:
@@ -262,6 +402,45 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     if args.report is not None:
         args.report.write_text(json.dumps(report, indent=2))
     print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.action == "emit":
+        if args.plan_file is not None:
+            raise ValueError(
+                "plan emit builds a plan from flags; use 'repro plan "
+                "validate <file>' to check an existing plan"
+            )
+        plan = plan_from_args(args)
+        text = plan.to_json()
+        if args.output is not None:
+            args.output.write_text(text + "\n")
+            print(f"plan {plan.key()} written to {args.output}", file=sys.stderr)
+        else:
+            print(text)
+            print(f"plan key: {plan.key()}", file=sys.stderr)
+        return 0
+    if args.plan_file is None:
+        raise ValueError(f"plan {args.action} requires a plan file argument")
+    stray = _explicit_plan_flags(args)
+    if stray:
+        flags = ", ".join("--" + name.replace("_", "-") for name in sorted(stray))
+        raise ValueError(
+            f"plan {args.action} checks the file as written and ignores no "
+            f"flags; remove {flags} (plan-building flags apply to emit)"
+        )
+    plan = _load_plan(args.plan_file)
+    plan.validate()
+    if args.action == "validate":
+        print(f"plan {plan.key()} is valid ({plan.target} target, "
+              f"{plan.problem}, backend {plan.backend})")
+        return 0
+    rows = [
+        {"field": name, "value": "" if value is None else value}
+        for name, value in plan.describe().items()
+    ]
+    print(format_table(rows, ["field", "value"], title=f"plan {args.plan_file}"))
     return 0
 
 
@@ -345,7 +524,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gpus,
         policy=args.policy,
         admission=AdmissionPolicy(max_depth=args.max_queue_depth),
-        backend=args.backend,
+        backend=args.backend or DEFAULT_BACKEND,
         workers=workers or 0,
     ) as service:
         report = service.replay(trace)
@@ -357,21 +536,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    problem = problem_from_string(args.problem)
-    with ReconstructionService(
-        args.gpus, policy="slo", backend=args.backend,
-        workers=_validated_workers(args.workers) or 0,
-    ) as service:
-        job = ReconstructionJob(
-            problem=problem,
-            tenant="cli",
-            dataset_id=args.dataset,
-            priority=args.priority,
-            slo_seconds=args.slo,
-            scenario=args.scenario,
+    # No tenant override: a flag-built submission and `--plan` with an
+    # emitted file must describe the same canonical plan (same key).
+    plan = plan_from_args(args, default_target="service")
+    if plan.target != "service":
+        raise ValueError(
+            f"submit runs jobs through the service, but the plan targets "
+            f"{plan.target!r}; use 'repro reconstruct --plan' for direct "
+            "execution or emit a service-target plan"
         )
-        accepted = service.submit(job)
-        if not accepted:
+    with ReconstructionService(
+        plan.cluster_gpus, policy="slo", backend=plan.backend,
+        workers=plan.workers or 0,
+    ) as service:
+        job = service.submit_plan(plan, dataset_id=args.dataset)
+        if job.state is JobState.REJECTED:
             print(f"rejected: {job.rejection_reason}", file=sys.stderr)
             return 1
         service.run_until_idle()
@@ -380,12 +559,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.scenario is not None and args.scenario_mix is not None:
+        raise ValueError(
+            "--scenario and --scenario-mix are mutually exclusive: a single "
+            "preset is the mix {name: 1.0}"
+        )
+    mix = _parse_scenario_mix(args.scenario_mix)
+    if args.scenario is not None:
+        mix = {args.scenario: 1.0}
     trace = synthetic_trace(
         args.jobs,
         cluster_gpus=args.gpus,
         seed=args.seed,
         heavy_fraction=args.heavy_fraction,
-        scenario_mix=_parse_scenario_mix(args.scenario_mix),
+        scenario_mix=mix,
     )
     trace.save(args.output)
     print(
@@ -422,6 +609,7 @@ def _format_service_report(report) -> str:
 
 _COMMANDS = {
     "reconstruct": _cmd_reconstruct,
+    "plan": _cmd_plan,
     "predict": _cmd_predict,
     "table4": _cmd_table4,
     "scenarios": _cmd_scenarios,
@@ -435,8 +623,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     Invalid user input (malformed problem specs, infeasible geometry,
-    unreadable traces) exits with code 2; argparse errors also exit 2 via
-    ``SystemExit``.
+    unreadable traces, malformed or conflicting plan files) exits with
+    code 2; argparse errors also exit 2 via ``SystemExit``.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

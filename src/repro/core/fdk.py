@@ -109,6 +109,28 @@ class FDKReconstructor:
             self._redundancy = resolved.redundancy_weights(self.geometry)
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(cls, plan) -> "FDKReconstructor":
+        """Build the reconstructor described by a declarative plan.
+
+        The keyword constructor remains the convenient in-process surface;
+        a :class:`~repro.api.ReconstructionPlan` is the canonical,
+        serializable description it is now a shim over.  The plan's
+        scenario is resolved and its geometry derived
+        (:meth:`~repro.api.ReconstructionPlan.scenario_geometry`), so the
+        reconstructor is ready for the scenario-shaped stack.
+        """
+        scenario = plan.resolved_scenario()
+        return cls(
+            geometry=plan.scenario_geometry(),
+            ramp_filter=plan.ramp_filter,
+            algorithm=plan.algorithm,
+            backend=plan.backend,
+            scenario=None if scenario.is_ideal else scenario,
+            workers=plan.workers,
+        )
+
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Join the worker pool of a dedicated ``parallel`` backend.
 

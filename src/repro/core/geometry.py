@@ -183,6 +183,16 @@ class CBCTGeometry:
         half_width = 0.5 * (self.nu - 1) * self.du + abs(self.detector_offset_u)
         return self.sad * np.sin(np.arctan2(half_width, self.sdd))
 
+    def problem(self) -> "ReconstructionProblem":
+        """The :class:`~repro.core.types.ReconstructionProblem` this
+        acquisition and volume describe (``Nu x Nv x Np -> Nx x Ny x Nz``)."""
+        from .types import ReconstructionProblem  # late: types is a leaf module
+
+        return ReconstructionProblem(
+            nu=self.nu, nv=self.nv, np_=self.np_,
+            nx=self.nx, ny=self.ny, nz=self.nz,
+        )
+
     def with_detector(self, nu: int, nv: int) -> "CBCTGeometry":
         """Return a copy with a different detector size (pitch preserved)."""
         return replace(self, nu=int(nu), nv=int(nv))

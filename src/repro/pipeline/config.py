@@ -138,6 +138,35 @@ class IFDKConfig:
             )
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "IFDKConfig":
+        """Build the distributed configuration described by a plan.
+
+        The plan must target ``ifdk`` semantics: ``rows`` and ``columns``
+        set, an ideal (full-scan) scenario.  ``overrides`` pass through to
+        the constructor for knobs the declarative plan does not carry
+        (``gpus_per_node``, ``kernel``, ``projection_batch``, ``device``).
+        """
+        if plan.rows is None or plan.columns is None:
+            raise ValueError(
+                "an ifdk configuration needs the plan's rows and columns"
+            )
+        if not plan.resolved_scenario().is_ideal:
+            raise ValueError(
+                f"scenario {plan.scenario!r} runs single-node; the "
+                "distributed pipeline only serves the ideal full scan"
+            )
+        return cls(
+            geometry=plan.geometry,
+            rows=plan.rows,
+            columns=plan.columns,
+            ramp_filter=plan.ramp_filter,
+            backend=plan.backend,
+            workers=plan.workers,
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------ #
     def compute_backend(self):
         """The resolved :class:`~repro.backends.base.ComputeBackend`.
 
@@ -191,10 +220,7 @@ class IFDKConfig:
     @property
     def problem(self) -> ReconstructionProblem:
         """The reconstruction problem this configuration solves."""
-        g = self.geometry
-        return ReconstructionProblem(
-            nu=g.nu, nv=g.nv, np_=g.np_, nx=g.nx, ny=g.ny, nz=g.nz
-        )
+        return self.geometry.problem()
 
     def validate_device_memory(self) -> None:
         """Enforce the Section 4.1.5 per-GPU memory constraint."""

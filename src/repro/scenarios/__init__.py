@@ -20,6 +20,7 @@ from .scenario import (
     SCENARIO_PRESETS,
     AcquisitionScenario,
     available_scenarios,
+    cache_token_for,
     get_scenario,
     reconstruct_scenario,
     register_scenario,
@@ -31,6 +32,7 @@ __all__ = [
     "AcquisitionScenario",
     "NoiseModel",
     "available_scenarios",
+    "cache_token_for",
     "conjugate_angle",
     "get_scenario",
     "offset_detector_weights",

@@ -51,6 +51,7 @@ __all__ = [
     "AcquisitionScenario",
     "SCENARIO_PRESETS",
     "available_scenarios",
+    "cache_token_for",
     "get_scenario",
     "register_scenario",
     "reconstruct_scenario",
@@ -300,6 +301,26 @@ def get_scenario(
         raise ValueError(
             f"unknown scenario {name!r}; available: {available_scenarios()}"
         ) from None
+
+
+def cache_token_for(name: Union[str, AcquisitionScenario]) -> str:
+    """The protocol-identity token of a scenario name, for cache keys.
+
+    Registered names (and scenario instances) resolve to their
+    :attr:`AcquisitionScenario.cache_token`, so two preset *names*
+    describing the same protocol share filtered projections.  Unregistered
+    names are used verbatim — callers with ad-hoc scenario strings still
+    get correct, if conservative, isolation.  Both the service's
+    :class:`~repro.service.cache.CacheKey` and the declarative
+    :meth:`~repro.api.ReconstructionPlan.filter_key` resolve through this
+    one function.
+    """
+    if isinstance(name, AcquisitionScenario):
+        return name.cache_token
+    try:
+        return _registry[name].cache_token
+    except KeyError:
+        return name
 
 
 register_scenario(AcquisitionScenario(

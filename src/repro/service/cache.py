@@ -61,12 +61,9 @@ def scenario_cache_token(scenario: str) -> str:
     Unregistered names are used verbatim (callers with ad-hoc scenarios
     still get correct, if conservative, isolation).
     """
-    from ..scenarios import get_scenario  # late import: optional dependency edge
+    from ..scenarios import cache_token_for  # late import: scenarios import core
 
-    try:
-        return get_scenario(scenario).cache_token
-    except ValueError:
-        return scenario
+    return cache_token_for(scenario)
 
 
 @dataclass(frozen=True)
@@ -79,6 +76,15 @@ class CacheKey:
     different redundancy weights than the full scan of the same dataset —
     so the token is part of the key: a short-scan job can never be served
     the full-scan job's filtered projections (and vice versa).
+
+    The non-dataset fields are exactly the *filtering identity* of a
+    :class:`~repro.api.ReconstructionPlan`: :attr:`filter_key` hashes them
+    through the same :func:`~repro.api.filter_cache_identity` function the
+    plan layer uses, so ``CacheKey.from_plan(plan, ds).filter_key ==
+    plan.filter_key()`` by construction — the plan's canonical key drives
+    the cache, and fields that cannot change the filtered projections
+    (``workers``, ``backend``, ``target``, output extent, QoS) can never
+    split or alias a cache entry.
     """
 
     dataset_id: str
@@ -87,6 +93,11 @@ class CacheKey:
     nv: int
     np_: int
     scenario: str = "full"
+    # Acquisition-physics token (repro.api.acquisition_token).  "" means
+    # "implied by dataset_id": trace jobs carry only a problem shape, so
+    # their physics identity rides on the dataset content key, exactly as
+    # in the seed cache.  Plan-derived keys always carry the real token.
+    acquisition: str = ""
 
     @classmethod
     def for_job(cls, job) -> "CacheKey":
@@ -99,14 +110,42 @@ class CacheKey:
             nv=problem.nv,
             np_=problem.np_,
             scenario=scenario_cache_token(getattr(job, "scenario", "full_scan")),
+            acquisition=getattr(job, "acquisition", ""),
+        )
+
+    @classmethod
+    def from_plan(cls, plan, dataset_id: str) -> "CacheKey":
+        """Key of the filtered projections a plan's execution consumes."""
+        identity = plan.filter_identity()
+        return cls(
+            dataset_id=dataset_id,
+            ramp_filter=identity["ramp_filter"],
+            nu=identity["nu"],
+            nv=identity["nv"],
+            np_=identity["np_"],
+            scenario=identity["scenario"],
+            acquisition=identity["acquisition"],
+        )
+
+    @property
+    def filter_key(self) -> str:
+        """The plan-layer filtering-identity hash of this key's fields."""
+        from ..api.plan import filter_cache_identity  # late: api imports service
+
+        return filter_cache_identity(
+            ramp_filter=self.ramp_filter,
+            nu=self.nu,
+            nv=self.nv,
+            np_=self.np_,
+            scenario=self.scenario,
+            acquisition=self.acquisition,
         )
 
     @property
     def object_name(self) -> str:
         """PFS object name the filtered stack is stored under."""
         tag = hashlib.sha256(
-            f"{self.dataset_id}|{self.ramp_filter}|{self.nu}x{self.nv}x{self.np_}"
-            f"|{self.scenario}".encode("ascii")
+            f"{self.dataset_id}|{self.filter_key}".encode("utf-8")
         ).hexdigest()[:16]
         return f"filtered-cache/{tag}"
 

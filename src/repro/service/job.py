@@ -81,6 +81,13 @@ class ReconstructionJob:
     ramp_filter: str = "ram-lak"
     scenario: str = "full_scan"
     job_id: str = ""
+    # Canonical identity of the plan this job was derived from (see
+    # ReconstructionJob.from_plan); empty for hand-built or trace jobs.
+    plan_key: str = ""
+    # Acquisition-physics token of the job's geometry (see
+    # repro.api.acquisition_token).  Trace jobs carry only a problem
+    # shape, so theirs stays "" — the physics is implied by dataset_id.
+    acquisition: str = ""
 
     # Filled in by the service / scheduler.
     state: JobState = JobState.PENDING
@@ -118,6 +125,46 @@ class ReconstructionJob:
             self.job_id = f"job-{self.sequence:04d}"
         if not self.dataset_id:
             self.dataset_id = f"dataset-{self.job_id}"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        *,
+        dataset_id: str = "",
+        arrival_seconds: float = 0.0,
+        job_id: str = "",
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+        slo_seconds: Optional[float] = None,
+    ) -> "ReconstructionJob":
+        """Derive a service job from a :class:`~repro.api.ReconstructionPlan`.
+
+        The plan supplies the problem (its base geometry), the filtering
+        and scenario identity, the backend and the QoS defaults (tenant,
+        priority, SLO); its canonical :meth:`~repro.api.ReconstructionPlan.key`
+        is recorded on the job so reports and caches share one identity.
+        Per-submission values (``dataset_id``, arrival time, an explicit
+        tenant/priority/SLO) override the plan's defaults.
+        """
+        from ..api.plan import acquisition_token  # late: api imports service
+
+        job = cls(
+            problem=plan.problem,
+            acquisition=acquisition_token(plan.geometry),
+            tenant=plan.tenant if tenant is None else tenant,
+            dataset_id=dataset_id,
+            priority=plan.priority if priority is None else priority,
+            slo_seconds=plan.slo_seconds if slo_seconds is None else slo_seconds,
+            arrival_seconds=arrival_seconds,
+            ramp_filter=plan.ramp_filter,
+            scenario=plan.scenario,
+            job_id=job_id,
+            plan_key=plan.key(),
+        )
+        job.backend = plan.backend
+        return job
 
     # ------------------------------------------------------------------ #
     @property
@@ -223,6 +270,7 @@ class ReconstructionJob:
             "cache_hit": self.cache_hit,
             "scenario": self.scenario,
             "backend": self.backend,
+            "plan_key": self.plan_key or None,
             "filter_s": self.filter_seconds,
             "backprojection_s": self.backprojection_seconds,
             "workers": self.workers,

@@ -136,7 +136,20 @@ class ReconstructionService:
         cannot ever run on this cluster or fails queue admission control.
         Safe to call from concurrent tenant threads: queue, cache and
         metrics mutations are serialized on the service lock.
+
+        A plan-derived job (non-empty ``plan_key``) whose plan declared a
+        different backend than this service runs is a caller error, not a
+        rejection: the plan's key *is* its numerics identity, so silently
+        re-targeting the job would make every record lie about what
+        executed.  Raises :class:`ValueError` before any state changes.
         """
+        if job.plan_key and job.backend != self.backend:
+            raise ValueError(
+                f"job {job.job_id} carries plan {job.plan_key} declaring "
+                f"backend {job.backend!r}, but this service runs "
+                f"{self.backend!r}; build the service from the plan "
+                "(Session does) or align the plan's backend"
+            )
         with self._lock:
             now = self.clock_seconds if now is None else now
             job.arrival_seconds = now
@@ -154,6 +167,31 @@ class ReconstructionService:
                 self.metrics.record_rejection(job)
                 return False
             return True
+
+    def submit_plan(
+        self, plan, *, dataset_id: str = "", now: Optional[float] = None
+    ) -> ReconstructionJob:
+        """Derive a job from a declarative plan and submit it.
+
+        The canonical plan-centric submission path: the job inherits the
+        plan's problem, filtering/scenario identity, QoS fields and
+        :meth:`~repro.api.ReconstructionPlan.key`, so the cache and the
+        report speak the same identity as every other execution surface.
+        Returns the job; inspect ``job.state`` / ``job.rejection_reason``
+        for the admission outcome.
+
+        The plan's backend must match this service's (every rank of the
+        cluster runs one backend, and the plan's key *declares* the
+        backend) — :meth:`submit` raises on the mismatch instead of
+        silently executing on different numerics than the recorded
+        identity.  The plan's ``cluster_gpus`` and ``workers`` describe
+        the service a :class:`~repro.api.Session` would build; submitting
+        to an existing service runs on that service's cluster and
+        dispatcher.
+        """
+        job = ReconstructionJob.from_plan(plan, dataset_id=dataset_id)
+        self.submit(job, now=now)
+        return job
 
     def _dispatch(self, now: float) -> None:
         with self._lock:

@@ -1,0 +1,540 @@
+"""Tests for the declarative plan / session front door (``repro.api``).
+
+Three layers of guarantees:
+
+1. **Serialization** — lossless JSON round-trips and a canonical content
+   hash that is stable across field ordering and across processes (the
+   golden plan's key is pinned).
+2. **Execution equivalence** — a plan serialized, reloaded and executed
+   through a :class:`Session` produces a bit-identical volume to the
+   equivalent direct :class:`FDKReconstructor` call, for every registered
+   backend and every execution target that shares the single-node compute
+   path.
+3. **Identity threading** — the plan's filtering identity is exactly what
+   the service cache keys on, and the shims (``FDKReconstructor.from_plan``,
+   ``IFDKConfig.from_plan``, ``ReconstructionJob.from_plan``) agree with
+   the keyword constructors they wrap.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    PLAN_VERSION,
+    TARGETS,
+    ReconstructionPlan,
+    Session,
+    filter_cache_identity,
+    plan_for_problem,
+    run_plan,
+)
+from repro.backends import available_backends
+from repro.core import FDKReconstructor, default_geometry_for_problem
+from repro.pipeline import IFDKConfig
+from repro.scenarios import get_scenario
+from repro.service import CacheKey, ReconstructionJob
+
+GOLDEN_PLAN = Path(__file__).parent / "data" / "golden_plan.json"
+
+#: Pinned canonical identity of the checked-in golden plan.  These values
+#: must be stable across processes, machines and Python versions: if this
+#: test fails, the plan hashing scheme changed and every persisted plan
+#: key (service cache identities, job records) silently rotated.
+GOLDEN_PLAN_KEY = "107bb2367236ee55"
+GOLDEN_PLAN_FILTER_KEY = "bd5d11dd272ac233"
+
+
+def small_plan(**fields) -> ReconstructionPlan:
+    return plan_for_problem("48x48x24->32x32x32", **fields)
+
+
+# --------------------------------------------------------------------------- #
+# Serialization: lossless round-trips, canonical hashing
+# --------------------------------------------------------------------------- #
+class TestPlanSerialization:
+    def test_json_round_trip_is_lossless(self):
+        plan = small_plan(backend="vectorized", scenario="short_scan",
+                          slo_seconds=12.5)
+        restored = ReconstructionPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.key() == plan.key()
+
+    def test_dict_round_trip_is_lossless(self):
+        plan = small_plan(target="ifdk", rows=2, columns=2, workers=None)
+        assert ReconstructionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_key_is_stable_across_field_ordering(self):
+        plan = small_plan(backend="blocked")
+        payload = plan.to_dict()
+        shuffled = {k: payload[k] for k in reversed(list(payload))}
+        shuffled["geometry"] = {
+            k: payload["geometry"][k] for k in reversed(list(payload["geometry"]))
+        }
+        restored = ReconstructionPlan.from_json(json.dumps(shuffled))
+        assert restored == plan
+        assert restored.key() == plan.key()
+
+    def test_key_distinguishes_every_field(self):
+        base = small_plan()
+        variants = [
+            base.with_updates(backend="vectorized"),
+            base.with_updates(scenario="sparse_view"),
+            base.with_updates(ramp_filter="hann"),
+            base.with_updates(algorithm="standard"),
+            base.with_updates(workers=4),
+            base.with_updates(target="service"),
+            base.with_updates(priority=0),
+            base.with_updates(geometry=default_geometry_for_problem(
+                nu=48, nv=48, np_=24, nx=32, ny=32, nz=16)),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == 1 + len(variants)
+
+    def test_unknown_plan_field_rejected(self):
+        payload = small_plan().to_dict()
+        payload["worker_count"] = 4
+        with pytest.raises(ValueError, match="unknown plan field.*worker_count"):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_unknown_geometry_field_rejected(self):
+        payload = small_plan().to_dict()
+        payload["geometry"]["pitch"] = 1.0
+        with pytest.raises(ValueError, match="unknown geometry field"):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_missing_geometry_rejected(self):
+        payload = small_plan().to_dict()
+        del payload["geometry"]
+        with pytest.raises(ValueError, match="geometry"):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ReconstructionPlan.from_json("{not json")
+
+    def test_unsupported_version_rejected(self):
+        payload = small_plan().to_dict()
+        payload["version"] = PLAN_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_golden_plan_key_is_pinned(self):
+        plan = ReconstructionPlan.from_json(GOLDEN_PLAN.read_text())
+        plan.validate()
+        assert plan.key() == GOLDEN_PLAN_KEY
+        assert plan.filter_key() == GOLDEN_PLAN_FILTER_KEY
+        # The checked-in file is the canonical serialization of itself.
+        assert plan.to_json() + "\n" == GOLDEN_PLAN.read_text()
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: round-trips over the whole plan space
+# --------------------------------------------------------------------------- #
+def geometries():
+    dims = st.integers(min_value=2, max_value=64)
+    factor = st.floats(min_value=2.5, max_value=8.0,
+                       allow_nan=False, allow_infinity=False)
+    return st.builds(
+        lambda nu, nv, np_, nx, ny, nz, sad_factor: default_geometry_for_problem(
+            nu=nu, nv=nv, np_=np_, nx=nx, ny=ny, nz=nz, sad_factor=sad_factor
+        ),
+        dims, dims, dims, dims, dims, dims, factor,
+    )
+
+
+def plans():
+    return st.builds(
+        ReconstructionPlan,
+        geometry=geometries(),
+        target=st.sampled_from(TARGETS),
+        scenario=st.sampled_from(("full_scan", "short_scan", "sparse_view")),
+        backend=st.sampled_from(available_backends()),
+        workers=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+        ramp_filter=st.sampled_from(("ram-lak", "shepp-logan", "hann")),
+        algorithm=st.sampled_from(("proposed", "standard")),
+        rows=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+        columns=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+        cluster_gpus=st.integers(min_value=1, max_value=64),
+        tenant=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12,
+        ),
+        priority=st.integers(min_value=0, max_value=5),
+        slo_seconds=st.one_of(
+            st.none(),
+            st.floats(min_value=0.1, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+    )
+
+
+class TestPlanProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(plan=plans())
+    def test_from_json_to_json_round_trip(self, plan):
+        restored = ReconstructionPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.key() == plan.key()
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan=plans(), data=st.data())
+    def test_key_invariant_under_field_ordering(self, plan, data):
+        payload = plan.to_dict()
+        order = data.draw(st.permutations(list(payload)))
+        shuffled = {k: payload[k] for k in order}
+        assert ReconstructionPlan.from_dict(shuffled).key() == plan.key()
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan=plans())
+    def test_filter_key_ignores_execution_fields(self, plan):
+        same = [
+            plan.with_updates(workers=None),
+            plan.with_updates(backend="reference"),
+            plan.with_updates(target="fdk", rows=None, columns=None),
+            plan.with_updates(algorithm="standard"),
+            plan.with_updates(priority=0, tenant="other", slo_seconds=None),
+        ]
+        assert {p.filter_key() for p in same} == {plan.filter_key()}
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan=plans())
+    def test_filter_key_tracks_acquisition_identity(self, plan):
+        different = [
+            plan.with_updates(ramp_filter="cosine"),
+            plan.with_updates(geometry=plan.geometry.with_detector(
+                plan.geometry.nu + 1, plan.geometry.nv)),
+        ]
+        if plan.scenario != "short_scan":
+            different.append(plan.with_updates(scenario="short_scan"))
+        for other in different:
+            assert other.filter_key() != plan.filter_key()
+
+
+# --------------------------------------------------------------------------- #
+# Validation
+# --------------------------------------------------------------------------- #
+class TestPlanValidation:
+    def test_valid_plan_chains(self):
+        plan = small_plan()
+        assert plan.validate() is plan
+
+    @pytest.mark.parametrize("fields, match", [
+        (dict(target="cloud"), "unknown plan target"),
+        (dict(ramp_filter="butterworth"), "unknown ramp filter"),
+        (dict(algorithm="fancy"), "proposed"),
+        (dict(dtype="float64"), "float32"),
+        (dict(backend="cuda"), "unknown backend"),
+        (dict(workers=2), "parallel"),
+        (dict(backend="parallel", workers=0), "positive"),
+        (dict(target="ifdk", rows=2), "rows and columns"),
+        (dict(rows=2, columns=2), "only apply to the ifdk target"),
+        (dict(target="ifdk", rows=5, columns=5), "divisible"),
+        (dict(target="ifdk", rows=2, columns=2, scenario="short_scan"),
+         "single-node"),
+        (dict(target="service", cluster_gpus=0), "cluster_gpus"),
+        (dict(target="service", priority=-1), "priority"),
+        (dict(target="service", slo_seconds=0.0), "slo_seconds"),
+        (dict(scenario="helical"), "unknown scenario"),
+    ])
+    def test_invalid_plans_rejected(self, fields, match):
+        with pytest.raises(ValueError, match=match):
+            small_plan(**fields).validate()
+
+    def test_service_target_allows_workers_on_any_backend(self):
+        # Service workers size the dispatcher, not a backend pool.
+        small_plan(target="service", workers=2).validate()
+
+    def test_plan_for_problem_rejects_non_problems(self):
+        with pytest.raises(ValueError, match="problem"):
+            plan_for_problem(42)
+
+
+# --------------------------------------------------------------------------- #
+# Execution equivalence (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestSessionExecution:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_serialized_plan_matches_direct_fdk_bit_for_bit(
+        self, backend, small_geometry, small_projections
+    ):
+        """JSON round-trip + Session == direct FDKReconstructor, exactly."""
+        plan = ReconstructionPlan(geometry=small_geometry, backend=backend)
+        reloaded = ReconstructionPlan.from_json(plan.to_json())
+        with Session(reloaded) as session:
+            result = session.run(small_projections)
+        direct = FDKReconstructor(
+            geometry=small_geometry, backend=backend
+        ).reconstruct(small_projections)
+        np.testing.assert_array_equal(result.volume.data, direct.volume.data)
+        assert result.plan_key == plan.key()
+        assert result.target == "fdk"
+
+    def test_scenario_plan_matches_direct_scenario_path(
+        self, small_geometry, small_projections
+    ):
+        from repro.scenarios import reconstruct_scenario
+
+        plan = ReconstructionPlan(
+            geometry=small_geometry, scenario="short_scan", backend="vectorized"
+        )
+        result = run_plan(plan, small_projections)
+        direct = reconstruct_scenario(
+            "short_scan", small_geometry, small_projections, backend="vectorized"
+        )
+        np.testing.assert_array_equal(result.volume.data, direct.volume.data)
+        assert result.problem.np_ < small_geometry.np_
+
+    def test_scenario_session_accepts_pre_transformed_stack(
+        self, small_geometry, small_projections
+    ):
+        scenario = get_scenario("sparse_view")
+        _, scenario_stack = scenario.apply(small_geometry, small_projections)
+        plan = ReconstructionPlan(geometry=small_geometry, scenario="sparse_view")
+        with Session(plan) as session:
+            via_base = session.run(small_projections)
+            via_transformed = session.run(scenario_stack)
+        np.testing.assert_array_equal(
+            via_base.volume.data, via_transformed.volume.data
+        )
+
+    def test_session_rejects_mismatched_stack(self, small_geometry, small_projections):
+        plan = ReconstructionPlan(
+            geometry=small_geometry.with_detector(
+                small_geometry.nu - 8, small_geometry.nv
+            ),
+            scenario="short_scan",
+        )
+        with Session(plan) as session, pytest.raises(ValueError, match="matches"):
+            session.run(small_projections)
+
+    def test_ifdk_target_runs_and_matches_single_node(
+        self, small_geometry, small_projections
+    ):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, target="ifdk", rows=2, columns=2,
+            backend="vectorized",
+        )
+        result = run_plan(plan, small_projections)
+        single = run_plan(
+            ReconstructionPlan(geometry=small_geometry, backend="vectorized"),
+            small_projections,
+        )
+        assert result.details["rows"] == 2 and result.details["columns"] == 2
+        np.testing.assert_allclose(
+            result.volume.data, single.volume.data, atol=1e-4
+        )
+
+    def test_service_target_returns_volume_and_job_record(
+        self, small_geometry, small_projections
+    ):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, target="service", cluster_gpus=8,
+            slo_seconds=120.0, tenant="api-test",
+        )
+        result = run_plan(plan, small_projections)
+        fdk = run_plan(
+            ReconstructionPlan(geometry=small_geometry), small_projections
+        )
+        np.testing.assert_array_equal(result.volume.data, fdk.volume.data)
+        job = result.details["job"]
+        assert result.details["accepted"]
+        assert job["state"] == "completed"
+        assert job["tenant"] == "api-test"
+        assert job["plan_key"] == plan.key()
+
+    def test_run_result_record_is_flat_and_keyed(self, small_geometry, small_projections):
+        plan = ReconstructionPlan(geometry=small_geometry)
+        record = run_plan(plan, small_projections).as_record()
+        assert record["plan_key"] == plan.key()
+        assert record["gups"] > 0
+        assert record["target"] == "fdk"
+
+    def test_session_rejects_invalid_plan(self, small_geometry):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Session(ReconstructionPlan(geometry=small_geometry, backend="cuda"))
+
+
+# --------------------------------------------------------------------------- #
+# Constructor shims and identity threading
+# --------------------------------------------------------------------------- #
+class TestPlanShims:
+    def test_fdk_reconstructor_from_plan(self, small_geometry, small_projections):
+        plan = ReconstructionPlan(geometry=small_geometry, backend="blocked")
+        with FDKReconstructor.from_plan(plan) as via_plan:
+            a = via_plan.reconstruct(small_projections).volume
+        b = FDKReconstructor(
+            geometry=small_geometry, backend="blocked"
+        ).reconstruct(small_projections).volume
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_fdk_from_plan_resolves_scenario_geometry(self, small_geometry):
+        plan = ReconstructionPlan(geometry=small_geometry, scenario="short_scan")
+        reconstructor = FDKReconstructor.from_plan(plan)
+        assert reconstructor.geometry.np_ < small_geometry.np_
+        assert reconstructor.scenario is not None
+
+    def test_ifdk_config_from_plan(self, small_geometry):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, target="ifdk", rows=2, columns=2,
+            ramp_filter="hann", backend="vectorized",
+        )
+        config = IFDKConfig.from_plan(plan)
+        assert config.rows == 2 and config.columns == 2
+        assert config.ramp_filter == "hann"
+        assert config.backend == "vectorized"
+        assert config.geometry == small_geometry
+
+    def test_ifdk_config_from_plan_requires_grid(self, small_geometry):
+        plan = ReconstructionPlan(geometry=small_geometry)
+        with pytest.raises(ValueError, match="rows and columns"):
+            IFDKConfig.from_plan(plan)
+
+    def test_ifdk_config_from_plan_rejects_non_ideal_scenario(self, small_geometry):
+        # A scenario plan must never silently become a full-scan config.
+        plan = ReconstructionPlan(
+            geometry=small_geometry, scenario="short_scan", rows=2, columns=2
+        )
+        with pytest.raises(ValueError, match="full scan"):
+            IFDKConfig.from_plan(plan)
+
+    def test_job_from_plan_carries_identity_and_qos(self, small_geometry):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, target="service", scenario="sparse_view",
+            backend="vectorized", priority=0, slo_seconds=30.0, tenant="t-9",
+        )
+        job = ReconstructionJob.from_plan(plan, dataset_id="ds-7")
+        assert job.plan_key == plan.key()
+        assert job.problem == plan.problem
+        assert job.scenario == "sparse_view"
+        assert job.backend == "vectorized"
+        assert (job.tenant, job.priority, job.slo_seconds) == ("t-9", 0, 30.0)
+        overridden = ReconstructionJob.from_plan(plan, priority=3)
+        assert overridden.priority == 3
+
+    def test_cache_key_from_plan_equals_for_job(self, small_geometry):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, target="service", scenario="short_scan"
+        )
+        job = ReconstructionJob.from_plan(plan, dataset_id="ds-1")
+        assert CacheKey.for_job(job) == CacheKey.from_plan(plan, "ds-1")
+        assert CacheKey.from_plan(plan, "ds-1").filter_key == plan.filter_key()
+
+    def test_filter_cache_identity_is_shared(self):
+        direct = filter_cache_identity(
+            ramp_filter="ram-lak", nu=48, nv=48, np_=24, scenario="full"
+        )
+        key = CacheKey(dataset_id="x", ramp_filter="ram-lak", nu=48, nv=48, np_=24)
+        assert key.filter_key == direct
+
+
+class TestPlanFieldTypes:
+    """Wrong-typed plan-file fields are ValueErrors (the CLI exit-2 path),
+    and validate() rejects non-integers that the canonical dict would
+    silently truncate (protecting the lossless round-trip)."""
+
+    @pytest.mark.parametrize("field, value", [
+        ("priority", [1]),
+        ("workers", [4]),
+        ("cluster_gpus", "many"),
+        ("slo_seconds", [1.0]),
+    ])
+    def test_wrong_typed_plan_field_is_value_error(self, field, value):
+        payload = small_plan().to_dict()
+        payload[field] = value
+        with pytest.raises(ValueError, match=field):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_wrong_typed_geometry_field_is_value_error(self):
+        payload = small_plan().to_dict()
+        payload["geometry"]["nu"] = None
+        with pytest.raises(ValueError, match="geometry.nu"):
+            ReconstructionPlan.from_dict(payload)
+
+    @pytest.mark.parametrize("fields", [
+        dict(target="service", workers=2.5),
+        dict(target="service", priority=1.5),
+        dict(cluster_gpus=16.0),
+        dict(target="ifdk", rows=2.0, columns=2),
+    ])
+    def test_validate_rejects_non_integer_scalars(self, fields):
+        with pytest.raises(ValueError, match="integer"):
+            small_plan(**fields).validate()
+
+
+class TestPlanFieldTypeStrictness:
+    """from_dict must never reinterpret what the author wrote."""
+
+    @pytest.mark.parametrize("field, value", [
+        ("workers", 2.5),
+        ("priority", 1.5),
+        ("workers", True),
+        ("cluster_gpus", False),
+    ])
+    def test_lossy_numerics_rejected_at_parse_time(self, field, value):
+        payload = small_plan().to_dict()
+        payload[field] = value
+        with pytest.raises(ValueError, match=field):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_integral_float_canonicalizes(self):
+        # "workers": 2.0 is a JSON artifact, not a different plan.
+        payload = small_plan(backend="parallel", workers=2).to_dict()
+        reference_key = ReconstructionPlan.from_dict(dict(payload)).key()
+        payload["workers"] = 2.0
+        plan = ReconstructionPlan.from_dict(payload)
+        assert plan.workers == 2
+        assert plan.key() == reference_key
+
+
+class TestQoSFieldScoping:
+    """QoS fields are service-only: inert-but-hashed fields must not give
+    two identical executions different plan keys."""
+
+    @pytest.mark.parametrize("fields", [
+        dict(slo_seconds=45.0),
+        dict(cluster_gpus=8),
+        dict(priority=0),
+        dict(tenant="x"),
+    ])
+    def test_qos_on_non_service_target_rejected(self, fields):
+        with pytest.raises(ValueError, match="service"):
+            small_plan(**fields).validate()
+
+    def test_qos_on_service_target_accepted(self):
+        small_plan(target="service", slo_seconds=45.0, cluster_gpus=8,
+                   priority=0, tenant="x").validate()
+
+
+class TestNonFiniteRejection:
+    """NaN/Infinity never reach a plan file, a key, or a validated plan."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_slo_rejected_everywhere(self, bad):
+        payload = small_plan(target="service").to_dict()
+        payload["slo_seconds"] = bad
+        with pytest.raises(ValueError, match="finite"):
+            ReconstructionPlan.from_dict(payload)
+        plan = small_plan(target="service", slo_seconds=bad)
+        with pytest.raises(ValueError, match="finite"):
+            plan.validate()
+        with pytest.raises(ValueError):
+            plan.to_json()  # never emits invalid strict JSON
+        with pytest.raises(ValueError):
+            plan.key()
+
+    def test_non_finite_geometry_rejected(self):
+        import dataclasses as dc
+
+        geometry = small_plan().geometry
+        plan = ReconstructionPlan(
+            geometry=dc.replace(geometry, angle_offset=float("nan"))
+        )
+        with pytest.raises(ValueError, match="angle_offset must be finite"):
+            plan.validate()

@@ -1,0 +1,113 @@
+"""API-surface snapshot: the public exports of ``repro`` and ``repro.api``.
+
+The checked-in lists below are the contract: anything importable via
+``from repro import *`` (or ``from repro.api import *``) that is not in
+its list — or anything in a list that stops existing — fails tier-1.  A
+deliberate API change must edit this file in the same commit, which is
+exactly the review speed-bump the snapshot exists to create.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+
+#: Everything `repro` exports: the sub-packages plus the plan/session
+#: front door re-exported at top level.
+REPRO_EXPORTS = [
+    "ReconstructionPlan",
+    "RunResult",
+    "Session",
+    "__version__",
+    "api",
+    "backends",
+    "bench",
+    "core",
+    "gpusim",
+    "mpi",
+    "pfs",
+    "pipeline",
+    "scenarios",
+    "service",
+]
+
+#: The declarative plan layer's complete public surface.
+REPRO_API_EXPORTS = [
+    "PLAN_VERSION",
+    "TARGETS",
+    "ReconstructionPlan",
+    "RunResult",
+    "Session",
+    "acquisition_token",
+    "filter_cache_identity",
+    "plan_for_problem",
+    "run_plan",
+]
+
+
+def _assert_surface(module, expected):
+    exported = sorted(module.__all__)
+    assert exported == sorted(expected), (
+        f"{module.__name__}.__all__ changed; if intentional, update the "
+        f"snapshot in tests/test_api_surface.py.\n"
+        f"  added:   {sorted(set(exported) - set(expected))}\n"
+        f"  removed: {sorted(set(expected) - set(exported))}"
+    )
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module.__name__} exports missing attributes: {missing}"
+
+
+def test_repro_surface_matches_snapshot():
+    _assert_surface(repro, REPRO_EXPORTS)
+
+
+def test_repro_api_surface_matches_snapshot():
+    _assert_surface(repro.api, REPRO_API_EXPORTS)
+
+
+def test_plan_field_schema_is_pinned():
+    """The plan's field set *is* its serialized schema — pin it too.
+
+    Adding a field changes every plan's canonical key (the hash covers the
+    full dict), so it must be a conscious, versioned decision.
+    """
+    import dataclasses
+
+    fields = sorted(
+        f.name for f in dataclasses.fields(repro.api.ReconstructionPlan)
+    )
+    assert fields == [
+        "algorithm",
+        "backend",
+        "cluster_gpus",
+        "columns",
+        "dtype",
+        "geometry",
+        "priority",
+        "ramp_filter",
+        "rows",
+        "scenario",
+        "slo_seconds",
+        "target",
+        "tenant",
+        "workers",
+    ]
+
+
+def test_geometry_serialization_covers_every_field():
+    """A new CBCTGeometry field must be added to the plan schema (and thus
+    to key()/acquisition_token) explicitly — never silently dropped."""
+    import dataclasses
+
+    from repro.api import plan as plan_module
+    from repro.core.geometry import CBCTGeometry
+
+    serialized = set(plan_module._GEOMETRY_INT_FIELDS) | set(
+        plan_module._GEOMETRY_FLOAT_FIELDS
+    )
+    actual = {f.name for f in dataclasses.fields(CBCTGeometry)}
+    assert serialized == actual, (
+        "plan geometry serialization is out of sync with CBCTGeometry: "
+        f"missing {sorted(actual - serialized)}, "
+        f"stale {sorted(serialized - actual)}"
+    )

@@ -26,9 +26,19 @@ class TestParser:
         assert excinfo.value.code == 2
 
     def test_reconstruct_defaults(self):
+        # Parser defaults are None sentinels (so --plan conflicts are
+        # detectable); plan_from_args resolves them to the real defaults.
+        from repro.cli import plan_from_args
+
         args = build_parser().parse_args(["reconstruct"])
-        assert args.algorithm == "proposed"
+        assert args.algorithm is None
         assert not args.distributed
+        plan = plan_from_args(args)
+        assert plan.algorithm == "proposed"
+        assert plan.backend == "reference"
+        assert plan.scenario == "full_scan"
+        assert plan.target == "fdk"
+        assert str(plan.problem) == "96x96x120->64x64x64"
 
     def test_predict_defaults(self):
         args = build_parser().parse_args(["predict", "--gpus", "128"])
@@ -262,3 +272,206 @@ class TestScenariosCommand:
                      "-o", str(tmp_path / "t.json")])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    """The ``repro plan`` subcommand: emit, validate, describe."""
+
+    def test_emit_validate_describe_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", "--problem", "48x48x24->32x32x32",
+                     "--backend", "vectorized", "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "validate", str(path)]) == 0
+        assert "is valid" in capsys.readouterr().out
+        assert main(["plan", "describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out
+        assert "48x48x24->32x32x32" in out
+
+    def test_emit_to_stdout_is_loadable_and_keyed(self, capsys):
+        from repro.api import ReconstructionPlan
+
+        assert main(["plan", "emit"]) == 0
+        captured = capsys.readouterr()
+        plan = ReconstructionPlan.from_json(captured.out)
+        assert plan.target == "fdk"
+        assert plan.key() in captured.err
+
+    def test_emit_service_target_carries_qos(self, capsys):
+        from repro.api import ReconstructionPlan
+
+        assert main(["plan", "emit", "--target", "service", "--gpus", "8",
+                     "--slo", "45", "--priority", "0"]) == 0
+        plan = ReconstructionPlan.from_json(capsys.readouterr().out)
+        assert plan.target == "service"
+        assert (plan.cluster_gpus, plan.slo_seconds, plan.priority) == (8, 45.0, 0)
+
+    def test_emit_rejects_plan_file_argument(self, tmp_path, capsys):
+        assert main(["plan", "emit", str(tmp_path / "x.json")]) == 2
+        assert "emit builds a plan from flags" in capsys.readouterr().err
+
+    def test_validate_requires_file_argument(self, capsys):
+        assert main(["plan", "validate"]) == 2
+        assert "requires a plan file" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["plan", "validate", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_validate_malformed_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["plan", "validate", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_validate_unknown_field_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", "-o", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        payload["wokers"] = 4  # the typo the strict schema exists to catch
+        path.write_text(json.dumps(payload))
+        assert main(["plan", "validate", str(path)]) == 2
+        assert "unknown plan field" in capsys.readouterr().err
+
+    def test_validate_semantically_invalid_plan_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", "-o", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        payload["backend"] = "cuda"
+        path.write_text(json.dumps(payload))
+        assert main(["plan", "validate", str(path)]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+
+class TestPlanFlag:
+    """``--plan plan.json`` on reconstruct and submit."""
+
+    def emit(self, tmp_path, *flags):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", *flags, "-o", str(path)]) == 0
+        return path
+
+    def test_reconstruct_with_plan_matches_explicit_flags(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--problem", "24x24x6->12x12x12",
+                         "--backend", "vectorized")
+        assert main(["reconstruct", "--problem", "24x24x6->12x12x12",
+                     "--backend", "vectorized"]) == 0
+        by_flags = json.loads(capsys.readouterr().out)
+        assert main(["reconstruct", "--plan", str(path)]) == 0
+        by_plan = json.loads(capsys.readouterr().out)
+        # One canonical description -> bit-identical execution.
+        assert by_plan["volume_min"] == by_flags["volume_min"]
+        assert by_plan["volume_max"] == by_flags["volume_max"]
+        assert by_plan["plan_key"] == by_flags["plan_key"]
+        assert by_plan["backend"] == "vectorized"
+
+    def test_reconstruct_plan_conflicts_with_flags_exit_2(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--problem", "24x24x6->12x12x12")
+        assert main(["reconstruct", "--plan", str(path),
+                     "--backend", "vectorized"]) == 2
+        err = capsys.readouterr().err
+        assert "--plan conflicts" in err and "--backend" in err
+
+    def test_reconstruct_plan_conflicts_with_distributed_exit_2(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--problem", "32x32x8->16x16x16")
+        assert main(["reconstruct", "--plan", str(path), "--distributed"]) == 2
+        assert "--distributed" in capsys.readouterr().err
+
+    def test_reconstruct_missing_plan_file_exits_2(self, tmp_path, capsys):
+        assert main(["reconstruct", "--plan", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_reconstruct_malformed_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"geometry": "not-an-object"}')
+        assert main(["reconstruct", "--plan", str(bad)]) == 2
+        assert "geometry" in capsys.readouterr().err
+
+    def test_submit_with_service_plan(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--target", "service",
+                         "--problem", "512x512x1024->256x256x256",
+                         "--gpus", "4", "--slo", "1000")
+        assert main(["submit", "--plan", str(path)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "completed"
+        assert record["met_slo"] is True
+        assert record["plan_key"]
+
+    def test_submit_plan_conflicts_with_flags_exit_2(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--target", "service")
+        assert main(["submit", "--plan", str(path), "--priority", "0"]) == 2
+        assert "--priority" in capsys.readouterr().err
+
+    def test_submit_rejects_non_service_plan(self, tmp_path, capsys):
+        path = self.emit(tmp_path, "--problem", "512x512x1024->256x256x256")
+        assert main(["submit", "--plan", str(path)]) == 2
+        assert "targets 'fdk'" in capsys.readouterr().err
+
+
+class TestTraceScenarioFlag:
+    """The shared --scenario flag reaches trace (single-preset traces)."""
+
+    def test_trace_single_scenario(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--jobs", "6", "--scenario", "short_scan",
+                     "-o", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert {job["scenario"] for job in payload["jobs"]} == {"short_scan"}
+
+    def test_scenario_and_mix_are_mutually_exclusive(self, tmp_path, capsys):
+        code = main(["trace", "--jobs", "4", "--scenario", "short_scan",
+                     "--scenario-mix", "full_scan=1",
+                     "-o", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestPlanFlagStrictness:
+    """Explicit flag values always reach validation — never silently drop."""
+
+    def test_rows_without_ifdk_target_exit_2(self, capsys):
+        # Forgetting --target ifdk must not emit a single-node plan.
+        assert main(["plan", "emit", "--rows", "4", "--columns", "4"]) == 2
+        assert "only apply to the ifdk target" in capsys.readouterr().err
+
+    def test_zero_gpus_exit_2(self, capsys):
+        assert main(["plan", "emit", "--target", "service", "--gpus", "0"]) == 2
+        assert "cluster_gpus" in capsys.readouterr().err
+
+    def test_zero_rows_exit_2(self, capsys):
+        assert main(["reconstruct", "--problem", "32x32x8->16x16x16",
+                     "--distributed", "--rows", "0", "--columns", "2"]) == 2
+        assert "rows must be a positive integer" in capsys.readouterr().err
+
+
+class TestSubmitPlanKeyParity:
+    """Flag-built and file-built submissions share one canonical identity."""
+
+    def test_submit_by_flags_matches_emitted_plan_key(self, tmp_path, capsys):
+        flags = ["--problem", "512x512x1024->256x256x256", "--gpus", "4",
+                 "--slo", "1000"]
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", "--target", "service", *flags,
+                     "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["submit", *flags]) == 0
+        by_flags = json.loads(capsys.readouterr().out)
+        assert main(["submit", "--plan", str(path)]) == 0
+        by_plan = json.loads(capsys.readouterr().out)
+        assert by_flags["plan_key"] == by_plan["plan_key"]
+        assert by_flags["tenant"] == by_plan["tenant"]
+
+
+class TestPlanValidateFlagStrictness:
+    """plan validate/describe never silently ignore plan-building flags."""
+
+    def test_validate_rejects_stray_flags(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "emit", "-o", str(path)]) == 0
+        assert main(["plan", "validate", str(path),
+                     "--backend", "vectorized"]) == 2
+        err = capsys.readouterr().err
+        assert "--backend" in err and "emit" in err
+        assert main(["plan", "describe", str(path), "--workers", "4"]) == 2
+        assert "--workers" in capsys.readouterr().err

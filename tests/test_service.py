@@ -745,3 +745,110 @@ class TestScenarioAwareService:
         for job in report.jobs:
             if job["state"] == "completed":
                 assert job["scenario"] in ("full_scan", "sparse_view")
+
+
+# --------------------------------------------------------------------------- #
+# Plan-driven cache keying (the repro.api front door)
+# --------------------------------------------------------------------------- #
+class TestPlanDrivenCacheKeying:
+    """The filtered-projection cache keys on the plan's filtering identity.
+
+    Two jobs whose plans differ only in execution knobs (``workers``,
+    ``backend``, output extent, QoS) must share a cache entry; plans that
+    differ in scenario or acquisition geometry must never share one.
+    """
+
+    def plan(self, problem=SMALL, **fields):
+        from repro.api import plan_for_problem
+
+        return plan_for_problem(problem, target="service", **fields)
+
+    def test_workers_only_difference_shares_cache_entry(self):
+        base = self.plan()
+        more_workers = base.with_updates(workers=4)
+        # Execution identity differs, filtering identity does not.
+        assert base.key() != more_workers.key()
+        assert base.filter_key() == more_workers.filter_key()
+        assert CacheKey.from_plan(base, "shared") == CacheKey.from_plan(
+            more_workers, "shared"
+        )
+        service = ReconstructionService(8)
+        first = ReconstructionJob.from_plan(base, dataset_id="shared")
+        second = ReconstructionJob.from_plan(more_workers, dataset_id="shared")
+        assert service.submit(first)
+        service.run_until_idle()
+        assert service.submit(second)
+        service.run_until_idle()
+        assert second.cache_hit
+        assert first.as_record()["plan_key"] == base.key()
+        assert second.as_record()["plan_key"] == more_workers.key()
+
+    def test_output_extent_difference_shares_cache_entry(self):
+        # Filtering sees only the input stack: re-reconstructing the SAME
+        # acquisition at another output size reuses the filtering.
+        a = self.plan("512x512x1024->256x256x256")
+        b = a.with_updates(geometry=a.geometry.with_volume(128, 128, 128))
+        assert CacheKey.from_plan(a, "ds") == CacheKey.from_plan(b, "ds")
+
+    def test_acquisition_physics_difference_never_shares(self):
+        # Same shapes, different physics (pitch / distances / span) filter
+        # differently — the plan's acquisition token must split the keys.
+        import dataclasses
+
+        a = self.plan()
+        shapes_only = a.geometry
+        rescaled = dataclasses.replace(shapes_only, du=shapes_only.du * 2.0)
+        short_arc = dataclasses.replace(
+            shapes_only, angular_range=shapes_only.angular_range / 2.0
+        )
+        for other in (rescaled, short_arc):
+            b = a.with_updates(geometry=other)
+            assert b.filter_key() != a.filter_key()
+            assert CacheKey.from_plan(b, "ds") != CacheKey.from_plan(a, "ds")
+
+    def test_submit_plan_rejects_backend_mismatch(self):
+        plan = self.plan(backend="vectorized")
+        service = ReconstructionService(8, backend="reference")
+        with pytest.raises(ValueError, match="backend 'vectorized'"):
+            service.submit_plan(plan, dataset_id="ds")
+        # The guard lives in submit() itself, so the from_plan + submit
+        # path cannot bypass it either.
+        job = ReconstructionJob.from_plan(plan, dataset_id="ds")
+        with pytest.raises(ValueError, match="backend 'vectorized'"):
+            service.submit(job)
+
+    def test_scenario_difference_never_shares(self):
+        base = self.plan()
+        short = base.with_updates(scenario="short_scan")
+        assert base.filter_key() != short.filter_key()
+        assert CacheKey.from_plan(base, "shared") != CacheKey.from_plan(
+            short, "shared"
+        )
+        service = ReconstructionService(8)
+        first = ReconstructionJob.from_plan(base, dataset_id="shared")
+        second = ReconstructionJob.from_plan(short, dataset_id="shared")
+        assert service.submit(first)
+        service.run_until_idle()
+        assert service.submit(second)
+        service.run_until_idle()
+        assert not second.cache_hit
+
+    def test_geometry_difference_never_shares(self):
+        base = self.plan("512x512x1024->256x256x256")
+        fewer_views = self.plan("512x512x512->256x256x256")
+        wider = self.plan("1024x512x1024->256x256x256")
+        assert CacheKey.from_plan(base, "ds") != CacheKey.from_plan(
+            fewer_views, "ds"
+        )
+        assert CacheKey.from_plan(base, "ds") != CacheKey.from_plan(wider, "ds")
+
+    def test_service_submit_plan_round_trip(self):
+        plan = self.plan(slo_seconds=1000.0, priority=0, tenant="plan-tenant")
+        service = ReconstructionService(8)
+        job = service.submit_plan(plan, dataset_id="ds-plan")
+        assert job.state is not JobState.REJECTED
+        service.run_until_idle()
+        assert job.state is JobState.COMPLETED
+        assert job.plan_key == plan.key()
+        assert job.tenant == "plan-tenant"
+        assert job.met_slo is True
