@@ -8,7 +8,11 @@ on every registered backend plus an explicit 4-worker ``parallel`` run,
 with the conformance suite guaranteeing all outputs agree (bit-identically,
 within the vectorized family).  The results are written to
 ``BENCH_backend_speed.json`` at the repo root so future PRs can track the
-hot path instead of guessing.
+hot path instead of guessing.  Each run also *appends* a trajectory entry
+(git sha, UTC date, host cpu count, per-backend GUPS) to the record's
+``history`` list; ``tests/test_bench_trajectory.py`` fails tier-1 if the
+newest entry regresses more than 25% against the previous entry measured
+on the same host profile.
 
 Two assertions gate the record:
 
@@ -23,6 +27,7 @@ Two assertions gate the record:
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import time
@@ -32,6 +37,7 @@ import numpy as np
 import pytest
 
 from repro.backends import BACKEND_NAMES, ParallelBackend, get_backend
+from repro.bench.trajectory import HISTORY_LIMIT, git_sha, trajectory_entry
 from repro.core import default_geometry_for_problem
 from repro.core.types import ProjectionStack, ReconstructionProblem
 
@@ -110,6 +116,28 @@ def test_backend_speed_records_parallel_speedup():
             results["blocked"]["seconds"] / results["parallel"]["seconds"]
         ),
     }
+
+    # Carry the trajectory forward: keep the prior record's history (if the
+    # file exists and parses) and append this run as the newest entry.
+    history = []
+    if RESULT_FILE.exists():
+        try:
+            history = json.loads(RESULT_FILE.read_text()).get("history", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(
+        trajectory_entry(
+            record,
+            sha=git_sha(REPO_ROOT),
+            date=datetime.datetime.now(datetime.timezone.utc).strftime(
+                "%Y-%m-%d"
+            ),
+        )
+    )
+    record["history"] = history[-HISTORY_LIMIT:]
+
     RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
 

@@ -39,6 +39,11 @@ Sub-packages
     Acquisition scenarios: declarative short-scan, offset-detector,
     sparse-view and noisy protocols with redundancy weighting, locked
     down by the scenario × backend conformance matrix.
+``repro.obs``
+    Unified observability: the ambient span tracer and metrics registry
+    the backends, pipeline and service are instrumented against, run
+    reports, and the Chrome-trace / JSON-lines / summary exporters behind
+    ``--trace-out`` and ``repro report``.
 ``repro.api``
     The public front door: the declarative, serializable
     :class:`~repro.api.ReconstructionPlan` (one canonical description of
@@ -47,10 +52,22 @@ Sub-packages
     FDK, iFDK or service path and returns a unified result.
 """
 
-from . import api, backends, bench, core, gpusim, mpi, pfs, pipeline, scenarios, service
+from . import (
+    api,
+    backends,
+    bench,
+    core,
+    gpusim,
+    mpi,
+    obs,
+    pfs,
+    pipeline,
+    scenarios,
+    service,
+)
 from .api import ReconstructionPlan, RunResult, Session
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReconstructionPlan",
@@ -62,6 +79,7 @@ __all__ = [
     "core",
     "gpusim",
     "mpi",
+    "obs",
     "pfs",
     "pipeline",
     "scenarios",

@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional
 from ..core.fdk import FDKReconstructor
 from ..core.geometry import CBCTGeometry
 from ..core.types import ProjectionStack, ReconstructionProblem, Volume
+from ..obs import NULL_TRACER, RunReport, Tracer, use_tracer
 from .plan import ReconstructionPlan
 
 __all__ = ["RunResult", "Session", "run_plan"]
@@ -50,6 +51,9 @@ class RunResult:
     backprojection_seconds: float
     wall_seconds: float
     details: Dict[str, Any] = field(default_factory=dict)
+    #: Structured observability record of the run (always present; carries
+    #: span-derived stage totals when the session had a tracer installed).
+    report: Optional[RunReport] = None
 
     @property
     def problem(self) -> ReconstructionProblem:
@@ -87,11 +91,18 @@ class Session:
     plan:
         The declarative plan to compile.  Validated on entry (a session
         can never hold an invalid plan).
+    tracer:
+        Optional :class:`repro.obs.Tracer` installed ambiently around every
+        :meth:`run`, so the backend drivers, worker pool and service record
+        spans into it.  ``None`` (the default) keeps the process-wide
+        no-op tracer: the hot paths execute their untraced branches and the
+        run's :class:`~repro.obs.RunReport` carries no span totals.
     """
 
-    def __init__(self, plan: ReconstructionPlan):
+    def __init__(self, plan: ReconstructionPlan, *, tracer: Optional[Tracer] = None):
         plan.validate()
         self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.plan_key = plan.key()
         self._scenario = plan.resolved_scenario()
         self._geometry = plan.scenario_geometry()
@@ -112,6 +123,7 @@ class Session:
             )
             self._reconstructor = FDKReconstructor.from_plan(fdk_plan)
             if plan.target == "service":
+                from ..obs import MetricsRegistry
                 from ..service.service import ReconstructionService
 
                 self._service = ReconstructionService(
@@ -119,6 +131,9 @@ class Session:
                     policy="slo",
                     backend=plan.backend,
                     workers=plan.workers or 0,
+                    # Lifetime instruments ride along with tracing; an
+                    # untraced session keeps the service's no-op registry.
+                    obs=MetricsRegistry() if self.tracer.enabled else None,
                 )
 
     # ------------------------------------------------------------------ #
@@ -171,7 +186,44 @@ class Session:
         :meth:`FDKReconstructor.reconstruct`).  ``dataset_id`` names the
         dataset for service-target cache identity; it defaults to a
         content fingerprint of the stack.
+
+        The session's tracer is installed ambiently for the duration: the
+        whole execution sits under one ``run`` span, and the returned
+        :attr:`RunResult.report` folds in the span-derived stage totals.
         """
+        tracer = self.tracer
+        with use_tracer(tracer):
+            with tracer.span(
+                "run",
+                target=self.plan.target,
+                backend=self.plan.backend,
+                scenario=self.plan.scenario,
+                plan_key=self.plan_key,
+            ) as root:
+                root_id = root.span_id if tracer.enabled else None
+                result = self._execute(stack, tracer, root_id, dataset_id)
+        result.report = RunReport.from_tracer(
+            tracer,
+            plan_key=self.plan_key,
+            target=self.plan.target,
+            backend=self.plan.backend,
+            scenario=self.plan.scenario,
+            problem=str(result.problem),
+            wall_seconds=result.wall_seconds,
+            filter_seconds=result.filter_seconds,
+            backprojection_seconds=result.backprojection_seconds,
+            gups=result.gups,
+            details=dict(result.details),
+        )
+        return result
+
+    def _execute(
+        self,
+        stack: ProjectionStack,
+        tracer: Tracer,
+        root_id: Optional[int],
+        dataset_id: str,
+    ) -> RunResult:
         stack = self._prepare_stack(stack)
         details: Dict[str, Any] = {}
         start = time.perf_counter()
@@ -179,6 +231,22 @@ class Session:
             result = self._framework.reconstruct(stack)
             stage_totals = result.stage_totals()
             wall = time.perf_counter() - start
+            if tracer.enabled:
+                # Import the rank-stage spans into the session trace.  Rank
+                # tracers start their own epochs after this run began, so
+                # anchoring events at the run start places every stage
+                # inside the run span (durations, hence stage totals, are
+                # exact either way).
+                for rank_result in result.rank_results:
+                    for event in rank_result.events:
+                        tracer.record(
+                            event.stage,
+                            start + event.start,
+                            start + event.stop,
+                            event.payload_bytes,
+                            parent=root_id,
+                            rank=event.rank,
+                        )
             details.update(
                 rows=self.plan.rows,
                 columns=self.plan.columns,
@@ -208,6 +276,8 @@ class Session:
                 self._service.run_until_idle()
             details["job"] = job.as_record()
             details["accepted"] = job.state is not JobState.REJECTED
+            if tracer.enabled:
+                details["service_obs"] = self._service.obs_snapshot()
         wall = time.perf_counter() - start
         return RunResult(
             volume=fdk.volume,
@@ -239,7 +309,12 @@ class Session:
         return False
 
 
-def run_plan(plan: ReconstructionPlan, stack: ProjectionStack) -> RunResult:
+def run_plan(
+    plan: ReconstructionPlan,
+    stack: ProjectionStack,
+    *,
+    tracer: Optional[Tracer] = None,
+) -> RunResult:
     """One-call plan execution: compile, run, release."""
-    with Session(plan) as session:
+    with Session(plan, tracer=tracer) as session:
         return session.run(stack)

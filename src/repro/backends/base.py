@@ -65,6 +65,7 @@ from ..core.filtering import (
 )
 from ..core.geometry import CBCTGeometry
 from ..core.types import DEFAULT_DTYPE, ProjectionStack, Volume
+from ..obs import get_tracer
 
 __all__ = ["ComputeBackend", "VolumeAccumulator", "ALGORITHMS"]
 
@@ -192,23 +193,30 @@ class ComputeBackend(abc.ABC):
                 f"projection stack ({stack.nv}x{stack.nu}) does not match detector "
                 f"({geometry.nv}x{geometry.nu})"
             )
-        fcos = cosine_weight_table(geometry)
-        tau = geometry.du * geometry.sad / geometry.sdd
-        response = ramp_filter_frequency_response(geometry.nu, tau, window)
-        weighted = stack.data * fcos[None, :, :]
-        if redundancy is not None:
-            weighted = (
-                weighted
-                * broadcast_redundancy_table(redundancy, stack.np_, stack.nu)
-            ).astype(DEFAULT_DTYPE, copy=False)
-        filtered = self.apply_filter(weighted, response, tau)
-        if apply_fdk_scale:
-            filtered = filtered * DEFAULT_DTYPE(fdk_normalization(geometry))
-        return ProjectionStack(
-            data=filtered.astype(DEFAULT_DTYPE, copy=False),
-            angles=stack.angles.copy(),
-            filtered=True,
-        )
+        with get_tracer().span(
+            "filter",
+            payload_bytes=int(stack.data.nbytes),
+            backend=self.name,
+            projections=stack.np_,
+            window=window,
+        ):
+            fcos = cosine_weight_table(geometry)
+            tau = geometry.du * geometry.sad / geometry.sdd
+            response = ramp_filter_frequency_response(geometry.nu, tau, window)
+            weighted = stack.data * fcos[None, :, :]
+            if redundancy is not None:
+                weighted = (
+                    weighted
+                    * broadcast_redundancy_table(redundancy, stack.np_, stack.nu)
+                ).astype(DEFAULT_DTYPE, copy=False)
+            filtered = self.apply_filter(weighted, response, tau)
+            if apply_fdk_scale:
+                filtered = filtered * DEFAULT_DTYPE(fdk_normalization(geometry))
+            return ProjectionStack(
+                data=filtered.astype(DEFAULT_DTYPE, copy=False),
+                angles=stack.angles.copy(),
+                filtered=True,
+            )
 
     def backproject(
         self,
@@ -220,17 +228,35 @@ class ComputeBackend(abc.ABC):
         use_symmetry: bool = True,
         k_chunk: int = 32,
     ) -> Volume:
-        """Back-project a filtered stack through this backend's accumulator."""
-        acc = self.accumulator(
-            geometry,
+        """Back-project a filtered stack through this backend's accumulator.
+
+        The span covers the whole tile/voxel accumulation loop of this
+        backend; per-projection ``backproject.add`` spans are recorded only
+        when tracing is enabled, so the hot loop stays untouched otherwise.
+        """
+        tracer = get_tracer()
+        with tracer.span(
+            "backproject",
+            payload_bytes=int(stack.data.nbytes),
+            backend=self.name,
             algorithm=algorithm,
-            z_range=z_range,
-            use_symmetry=use_symmetry,
-            k_chunk=k_chunk,
-        )
-        for angle, projection in stack:
-            acc.add(projection, angle)
-        return acc.volume()
+            projections=stack.np_,
+        ):
+            acc = self.accumulator(
+                geometry,
+                algorithm=algorithm,
+                z_range=z_range,
+                use_symmetry=use_symmetry,
+                k_chunk=k_chunk,
+            )
+            if tracer.enabled:
+                for index, (angle, projection) in enumerate(stack):
+                    with tracer.span("backproject.add", projection_index=index):
+                        acc.add(projection, angle)
+            else:
+                for angle, projection in stack:
+                    acc.add(projection, angle)
+            return acc.volume()
 
     def close(self) -> None:
         """Release execution resources (worker threads); idempotent no-op here.

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..core.geometry import CBCTGeometry
 from ..core.types import DEFAULT_DTYPE, ProjectionStack, Volume
+from ..obs import get_tracer
 from .base import ComputeBackend, VolumeAccumulator
 from .blocked import DEFAULT_BYTE_BUDGET, plan_tiles
 from .vectorized import _BLOCK_KERNELS, _index_grids, rfft_ramp_filter
@@ -248,12 +249,39 @@ class _ParallelAccumulator(VolumeAccumulator):
             self.geometry.projection_matrix(float(angle)).matrix for angle in angles
         ]
         j_grid, i_grid = _index_grids(self.geometry.ny, self.geometry.nx)
-        self._pool.run(
-            [
-                self._shard_task(shard, projections, matrices, i_grid, j_grid)
-                for shard in self._shards
+        tasks = [
+            self._shard_task(shard, projections, matrices, i_grid, j_grid)
+            for shard in self._shards
+        ]
+        # Per-worker spans: the ambient tracer and parent span are captured
+        # on the dispatching thread (thread-locals do not cross the pool
+        # boundary) and handed to each shard task explicitly.  Wrapping
+        # happens only when tracing is enabled — the untraced dispatch path
+        # is byte-for-byte the pre-instrumentation one.
+        tracer = get_tracer()
+        if tracer.enabled:
+            parent = tracer.current_span_id()
+            payload = int(projections.nbytes)
+
+            def traced(task, worker, tiles):
+                def run() -> None:
+                    with tracer.span(
+                        "backproject.worker",
+                        payload_bytes=payload,
+                        parent=parent,
+                        worker=worker,
+                        tiles=tiles,
+                        projections=len(matrices),
+                    ):
+                        task()
+
+                return run
+
+            tasks = [
+                traced(task, worker, len(shard))
+                for worker, (task, shard) in enumerate(zip(tasks, self._shards))
             ]
-        )
+        self._pool.run(tasks)
 
     def add(self, projection: np.ndarray, angle: float) -> None:
         projection = np.asarray(projection, dtype=DEFAULT_DTYPE)
@@ -350,13 +378,28 @@ class ParallelBackend(ComputeBackend):
         rows_per_group = max(1, min(per_budget, per_worker))
         out_dtype = rows.dtype if rows.dtype.kind == "f" else DEFAULT_DTYPE
         out = np.empty(flat.shape, dtype=out_dtype)
+        tracer = get_tracer()
+        parent = tracer.current_span_id() if tracer.enabled else None
 
         def group_task(start: int) -> Callable[[], None]:
             def task() -> None:
                 stop = min(start + rows_per_group, n_rows)
                 out[start:stop] = rfft_ramp_filter(flat[start:stop], response, tau)
 
-            return task
+            if not tracer.enabled:
+                return task
+
+            def traced() -> None:
+                stop = min(start + rows_per_group, n_rows)
+                with tracer.span(
+                    "filter.worker",
+                    payload_bytes=int(flat[start:stop].nbytes),
+                    parent=parent,
+                    rows=stop - start,
+                ):
+                    task()
+
+            return traced
 
         self._ensure_pool().run(
             [group_task(start) for start in range(0, n_rows, rows_per_group)]
@@ -397,15 +440,22 @@ class ParallelBackend(ComputeBackend):
         rank runtime; this driver amortizes pool synchronization over the
         entire stack (identical bits either way).
         """
-        acc = self.accumulator(
-            geometry,
+        with get_tracer().span(
+            "backproject",
+            payload_bytes=int(stack.data.nbytes),
+            backend=self.name,
             algorithm=algorithm,
-            z_range=z_range,
-            use_symmetry=use_symmetry,
-            k_chunk=k_chunk,
-        )
-        acc.add_stack(stack)
-        return acc.volume()
+            projections=stack.np_,
+        ):
+            acc = self.accumulator(
+                geometry,
+                algorithm=algorithm,
+                z_range=z_range,
+                use_symmetry=use_symmetry,
+                k_chunk=k_chunk,
+            )
+            acc.add_stack(stack)
+            return acc.volume()
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

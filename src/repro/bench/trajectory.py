@@ -1,0 +1,211 @@
+"""Bench trajectory: the tracked history behind ``BENCH_backend_speed.json``.
+
+The backend speed benchmark used to overwrite its result file on every run,
+so the repo only ever knew the *latest* hot-path number.  This module turns
+that file into a trajectory: each benchmark run appends one history entry
+(git sha, UTC date, host cpu count, per-backend GUPS) and the tier-1 suite
+compares the newest entry against the most recent *prior* entry measured on
+the same host profile, failing on a throughput regression larger than
+:data:`REGRESSION_THRESHOLD`.
+
+Numbers measured on different hosts are not comparable — a 1-cpu CI runner
+is not a 16-core workstation — so comparisons are gated on the host profile
+(today: the cpu count).  Entries from other profiles are kept in the
+history but never compared against.
+
+Run ``python -m repro.bench.trajectory`` for the report-only view used by
+CI: it prints the trajectory and any detected regressions but exits 0
+unless ``--strict`` is given.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "HISTORY_LIMIT",
+    "REGRESSION_THRESHOLD",
+    "check_regression",
+    "format_trajectory",
+    "git_sha",
+    "load_record",
+    "trajectory_entry",
+]
+
+#: Largest allowed GUPS drop vs the previous same-profile entry (fractional).
+REGRESSION_THRESHOLD = 0.25
+
+#: History entries kept per record; the oldest are dropped beyond this.
+HISTORY_LIMIT = 50
+
+_REQUIRED_ENTRY_KEYS = ("sha", "date", "cpus", "gups")
+
+
+def git_sha(repo_root: Optional[Path] = None) -> str:
+    """Short git sha of ``repo_root`` (``"unknown"`` outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_root) if repo_root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def trajectory_entry(record: Dict, *, sha: str, date: str) -> Dict:
+    """One history entry derived from a fresh benchmark ``record``.
+
+    ``record`` is the flat document the speed benchmark builds (``cpus``
+    plus a ``backends`` mapping whose values carry ``gups``); ``date`` is
+    an ISO-8601 UTC date string supplied by the caller so the entry stays
+    reproducible from the outside.
+    """
+    backends = record.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        raise ValueError("benchmark record has no 'backends' mapping")
+    gups = {}
+    for name, result in backends.items():
+        if "gups" not in result:
+            raise ValueError(f"backend {name!r} result has no 'gups' field")
+        gups[name] = float(result["gups"])
+    return {
+        "sha": str(sha),
+        "date": str(date),
+        "cpus": int(record.get("cpus") or 1),
+        "gups": gups,
+    }
+
+
+def load_record(path) -> Dict:
+    """Load and validate a benchmark record file (history may be absent)."""
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read benchmark record {path}: {exc}") from exc
+    if not isinstance(record, dict) or "backends" not in record:
+        raise ValueError(
+            f"{path} is not a benchmark record (no 'backends' mapping)"
+        )
+    history = record.get("history", [])
+    if not isinstance(history, list):
+        raise ValueError(f"{path}: 'history' must be a list")
+    for index, entry in enumerate(history):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: history[{index}] is not an object")
+        missing = [key for key in _REQUIRED_ENTRY_KEYS if key not in entry]
+        if missing:
+            raise ValueError(
+                f"{path}: history[{index}] is missing {missing}"
+            )
+    return record
+
+
+def check_regression(
+    history: List[Dict], *, threshold: float = REGRESSION_THRESHOLD
+) -> List[str]:
+    """Regressions of the newest entry vs its same-profile predecessor.
+
+    Returns one human-readable line per backend whose latest GUPS fell more
+    than ``threshold`` (fractional) below the most recent earlier entry
+    with the same ``cpus`` profile.  An empty list means no regression —
+    including the no-comparison cases (fewer than two entries, or no prior
+    entry on this host profile).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if len(history) < 2:
+        return []
+    latest = history[-1]
+    previous = next(
+        (
+            entry
+            for entry in reversed(history[:-1])
+            if entry.get("cpus") == latest.get("cpus")
+        ),
+        None,
+    )
+    if previous is None:
+        return []
+    regressions = []
+    for name, new_gups in sorted(latest.get("gups", {}).items()):
+        old_gups = previous.get("gups", {}).get(name)
+        if old_gups is None or old_gups <= 0:
+            continue
+        drop = 1.0 - float(new_gups) / float(old_gups)
+        if drop > threshold:
+            regressions.append(
+                f"{name}: {old_gups:.4f} -> {float(new_gups):.4f} GUPS "
+                f"({drop:.0%} drop > {threshold:.0%} allowed; "
+                f"{previous['sha']} -> {latest['sha']}, cpus={latest['cpus']})"
+            )
+    return regressions
+
+
+def format_trajectory(record: Dict) -> str:
+    """Human-readable trajectory report for one benchmark record."""
+    history = record.get("history", [])
+    lines = [f"bench trajectory: {record.get('benchmark', '?')}"]
+    if not history:
+        lines.append("  (no history entries yet)")
+        return "\n".join(lines)
+    backends = sorted({name for entry in history for name in entry["gups"]})
+    for entry in history:
+        gups = "  ".join(
+            f"{name}={entry['gups'].get(name, float('nan')):.4f}"
+            for name in backends
+        )
+        lines.append(
+            f"  {entry['date']}  {entry['sha']:>9}  cpus={entry['cpus']:<3} {gups}"
+        )
+    regressions = check_regression(history)
+    if regressions:
+        lines.append("regressions (latest vs previous same-host entry):")
+        lines.extend(f"  REGRESSION {line}" for line in regressions)
+    else:
+        lines.append("no regression vs previous same-host entry")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Report-only CLI: ``python -m repro.bench.trajectory [record.json]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description="Report the tracked benchmark trajectory.",
+    )
+    parser.add_argument(
+        "record",
+        nargs="?",
+        default=str(
+            Path(__file__).resolve().parents[3] / "BENCH_backend_speed.json"
+        ),
+        help="benchmark record file (default: repo BENCH_backend_speed.json)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on a detected regression (default: report only)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        record = load_record(args.record)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(format_trajectory(record))
+    if args.strict and check_regression(record.get("history", [])):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

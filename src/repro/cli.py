@@ -1,6 +1,6 @@
 """Command-line interface for the iFDK reproduction.
 
-Eight subcommands cover the workflows a downstream user needs:
+Nine subcommands cover the workflows a downstream user needs:
 
 ``reconstruct``
     Synthesize Shepp-Logan projections for a given problem size and run the
@@ -31,6 +31,10 @@ Eight subcommands cover the workflows a downstream user needs:
     accepts ``--plan``).
 ``trace``
     Generate a synthetic multi-tenant workload trace for ``serve``.
+``report``
+    Render a span trace recorded with ``--trace-out`` (on ``reconstruct``,
+    ``serve`` or ``submit``) as a summary tree, Chrome trace-event JSON or
+    JSON-lines.
 
 The flags that describe a reconstruction (problem, backend, workers,
 scenario, ramp filter) are registered once by :func:`add_plan_args` and
@@ -61,6 +65,18 @@ from .core import (
 )
 from .core.types import problem_from_string
 from .gpusim import KERNEL_VARIANTS, BackprojectionCostModel, TESLA_V100
+from .obs import (
+    EXPORT_FORMATS,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    jsonl_lines,
+    load_trace,
+    summary_tree,
+    trace_format_for,
+    use_tracer,
+    write_trace,
+)
 from .pipeline import IFDKPerformanceModel, choose_grid
 from .scenarios import available_scenarios, get_scenario
 from .service import (
@@ -143,6 +159,35 @@ def add_plan_args(
             help="load the reconstruction plan from this JSON file "
                  "(see 'repro plan'; conflicts with explicit plan flags)",
         )
+
+
+def _add_trace_out(parser: argparse.ArgumentParser) -> None:
+    """Register ``--trace-out`` (span recording) on a subparser."""
+    parser.add_argument(
+        "--trace-out", dest="trace_out", type=Path, default=None, metavar="PATH",
+        help="record execution spans and write them to PATH on exit "
+             "(.json = Chrome trace-event, .jsonl = JSON-lines, "
+             ".txt = summary tree; inspect with 'repro report')",
+    )
+
+
+def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
+    """A fresh tracer when ``--trace-out`` was given, else ``None``.
+
+    The output suffix is validated *now* (ValueError -> exit 2), so a bad
+    path fails before the reconstruction runs, not after.
+    """
+    if getattr(args, "trace_out", None) is None:
+        return None
+    trace_format_for(args.trace_out)
+    return Tracer()
+
+
+def _write_trace_out(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    path = write_trace(tracer, args.trace_out)
+    print(f"{len(tracer)} spans written to {path}", file=sys.stderr)
 
 
 def _explicit_plan_flags(args: argparse.Namespace) -> dict:
@@ -241,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the volume to this .npy file")
     rec.add_argument("--report", type=Path, default=None,
                      help="write a JSON run report to this file")
+    _add_trace_out(rec)
 
     plan_p = sub.add_parser(
         "plan", help="emit, validate or describe a declarative reconstruction plan"
@@ -290,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_plan_args(serve, scenario=False)
     serve.add_argument("--report", type=Path, default=None,
                        help="write the full JSON service report to this file")
+    _add_trace_out(serve)
 
     submit = sub.add_parser("submit", help="run one job through the service")
     add_plan_args(submit, problem=DEFAULT_SUBMIT_PROBLEM, plan_file=True)
@@ -301,6 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="priority class, 0 = most urgent (default: 1)")
     submit.add_argument("--dataset", default="",
                         help="dataset content key (enables cache reuse)")
+    _add_trace_out(submit)
+
+    report_p = sub.add_parser(
+        "report", help="render a recorded trace file (--trace-out output)"
+    )
+    report_p.add_argument("trace_file", type=Path,
+                          help="trace file written by --trace-out "
+                               "(Chrome JSON or JSON-lines)")
+    report_p.add_argument("--format", default=None,
+                          help="output rendering: summary (default), "
+                               "chrome or jsonl")
+    report_p.add_argument("--output", "-o", type=Path, default=None,
+                          help="write the rendering to this file "
+                               "(default: stdout)")
 
     trace = sub.add_parser("trace", help="generate a synthetic workload trace")
     trace.add_argument("--jobs", type=int, default=24)
@@ -360,7 +421,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     if not scenario.is_ideal:
         print(f"applying acquisition scenario {scenario.name} ...", file=sys.stderr)
 
-    with Session(plan) as session:
+    tracer = _tracer_for(args)
+    with Session(plan, tracer=tracer) as session:
         result = session.run(stack)
 
     report: dict = {
@@ -395,6 +457,10 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     volume = result.volume
     report["volume_min"] = float(volume.data.min())
     report["volume_max"] = float(volume.data.max())
+    if tracer is not None:
+        report["run_report"] = result.report.as_dict()
+        print(result.report.summary(), file=sys.stderr)
+        _write_trace_out(tracer, args)
     if args.output is not None:
         np.save(args.output, volume.data)
         report["output"] = str(args.output)
@@ -520,14 +586,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     trace = ArrivalTrace.load(args.trace)
     gpus = args.gpus or trace.cluster_gpus
+    tracer = _tracer_for(args)
     with ReconstructionService(
         gpus,
         policy=args.policy,
         admission=AdmissionPolicy(max_depth=args.max_queue_depth),
         backend=args.backend or DEFAULT_BACKEND,
         workers=workers or 0,
+        obs=MetricsRegistry() if tracer is not None else None,
     ) as service:
-        report = service.replay(trace)
+        with use_tracer(tracer):
+            report = service.replay(trace)
+        if tracer is not None:
+            for key, value in sorted(service.obs_snapshot().items()):
+                print(f"{key:>32s} = {value:.3f}", file=sys.stderr)
+            _write_trace_out(tracer, args)
     print(_format_service_report(report))
     if args.report is not None:
         args.report.write_text(json.dumps(report.as_dict(), indent=2))
@@ -545,16 +618,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"{plan.target!r}; use 'repro reconstruct --plan' for direct "
             "execution or emit a service-target plan"
         )
+    tracer = _tracer_for(args)
     with ReconstructionService(
         plan.cluster_gpus, policy="slo", backend=plan.backend,
         workers=plan.workers or 0,
+        obs=MetricsRegistry() if tracer is not None else None,
     ) as service:
-        job = service.submit_plan(plan, dataset_id=args.dataset)
-        if job.state is JobState.REJECTED:
-            print(f"rejected: {job.rejection_reason}", file=sys.stderr)
-            return 1
-        service.run_until_idle()
+        with use_tracer(tracer):
+            job = service.submit_plan(plan, dataset_id=args.dataset)
+            if job.state is JobState.REJECTED:
+                print(f"rejected: {job.rejection_reason}", file=sys.stderr)
+                return 1
+            service.run_until_idle()
+        _write_trace_out(tracer, args)
     print(json.dumps(job.as_record(), indent=2))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a recorded trace file (ValueError paths -> exit code 2)."""
+    format = args.format or "summary"
+    if format not in EXPORT_FORMATS:
+        raise ValueError(
+            f"unknown export format {format!r}; expected one of "
+            f"{', '.join(EXPORT_FORMATS)}"
+        )
+    spans = load_trace(args.trace_file)
+    if args.output is not None:
+        write_trace(spans, args.output, format=format)
+        print(f"{len(spans)} spans written to {args.output}", file=sys.stderr)
+        return 0
+    if format == "summary":
+        print(summary_tree(spans, title=f"trace {args.trace_file}"))
+    elif format == "chrome":
+        print(json.dumps(chrome_trace(spans), indent=2))
+    else:
+        print("\n".join(jsonl_lines(spans)))
     return 0
 
 
@@ -615,6 +714,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "report": _cmd_report,
     "trace": _cmd_trace,
 }
 
@@ -637,6 +737,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Reader closed stdout early (`repro report ... | head`): exit
+        # quietly.  Re-point stdout at devnull so the interpreter's final
+        # flush cannot raise the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,14 +6,23 @@ long each rank spent in each stage and how well the stages overlapped.  A
 stage wraps its work in :meth:`PipelineTracer.span` and the collected
 :class:`TraceEvent` records are aggregated afterwards into per-stage totals
 and an overlap factor δ (Table 5's effectiveness metric).
+
+Since the ``repro.obs`` layer landed, :class:`PipelineTracer` is a
+:class:`repro.obs.Tracer` subclass: every rank-stage span is a real
+:class:`repro.obs.Span` (with ``rank``/``stage`` attributes), so an iFDK
+run exports through the same Chrome-trace / JSON-lines / summary-tree
+exporters as everything else, while the historical :class:`TraceEvent`
+view (:meth:`events`, :func:`summarize_events`, :meth:`overlap_delta`)
+keeps working unchanged on top of it.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..obs.tracer import Tracer
 
 __all__ = ["TraceEvent", "PipelineTracer", "StageSummary", "summarize_events"]
 
@@ -48,61 +57,62 @@ class StageSummary:
         self.payload_bytes += event.payload_bytes
 
 
-class PipelineTracer:
-    """Thread-safe collector of :class:`TraceEvent` records for one rank."""
+class PipelineTracer(Tracer):
+    """Span tracer for one rank of the iFDK pipeline.
+
+    A thin :class:`repro.obs.Tracer` specialization: spans are tagged with
+    the owning rank and their stage name, and the Figure-4c/Table-5 views
+    (:meth:`events`, :meth:`overlap_delta`) are derived from the recorded
+    spans rather than kept in a parallel store.
+    """
 
     def __init__(self, rank: int, *, clock=time.perf_counter):
+        super().__init__(clock=clock)
         self.rank = rank
-        self._clock = clock
-        self._events: List[TraceEvent] = []
-        self._lock = threading.Lock()
-        self.t0 = clock()
 
     # ------------------------------------------------------------------ #
-    class _Span:
-        def __init__(self, tracer: "PipelineTracer", stage: str, payload_bytes: int):
-            self.tracer = tracer
-            self.stage = stage
-            self.payload_bytes = payload_bytes
-            self.start = 0.0
-
-        def __enter__(self) -> "PipelineTracer._Span":
-            self.start = self.tracer._clock()
-            return self
-
-        def __exit__(self, exc_type, exc, tb) -> None:
-            stop = self.tracer._clock()
-            self.tracer.record(self.stage, self.start, stop, self.payload_bytes)
-
-    def span(self, stage: str, payload_bytes: int = 0) -> "PipelineTracer._Span":
+    def span(
+        self,
+        stage: str,
+        payload_bytes: int = 0,
+        *,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ):
         """Context manager timing one unit of work of ``stage``."""
-        return PipelineTracer._Span(self, stage, payload_bytes)
+        attrs.setdefault("rank", self.rank)
+        attrs.setdefault("stage", stage)
+        return super().span(stage, payload_bytes, parent=parent, **attrs)
 
-    def record(self, stage: str, start: float, stop: float, payload_bytes: int = 0) -> None:
-        with self._lock:
-            self._events.append(
-                TraceEvent(
-                    rank=self.rank,
-                    stage=stage,
-                    start=start - self.t0,
-                    stop=stop - self.t0,
-                    payload_bytes=payload_bytes,
-                )
-            )
-
-    def events(self) -> List[TraceEvent]:
-        with self._lock:
-            return list(self._events)
+    def record(
+        self,
+        stage: str,
+        start: float,
+        stop: float,
+        payload_bytes: int = 0,
+        *,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ):
+        attrs.setdefault("rank", self.rank)
+        attrs.setdefault("stage", stage)
+        return super().record(
+            stage, start, stop, payload_bytes, parent=parent, **attrs
+        )
 
     # ------------------------------------------------------------------ #
-    def stage_seconds(self, stage: str) -> float:
-        return sum(e.duration for e in self.events() if e.stage == stage)
-
-    def wall_seconds(self) -> float:
-        events = self.events()
-        if not events:
-            return 0.0
-        return max(e.stop for e in events) - min(e.start for e in events)
+    def events(self) -> List[TraceEvent]:
+        """The historical per-rank event view, derived from the spans."""
+        return [
+            TraceEvent(
+                rank=int(span.attrs.get("rank", self.rank)),
+                stage=span.name,
+                start=span.start,
+                stop=span.stop,
+                payload_bytes=span.payload_bytes,
+            )
+            for span in self.spans()
+        ]
 
     def overlap_delta(self, stages: Optional[List[str]] = None) -> float:
         """The paper's δ: summed stage time divided by elapsed wall time.

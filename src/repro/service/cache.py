@@ -39,7 +39,6 @@ __all__ = [
     "CacheStatistics",
     "FilteredProjectionCache",
     "fingerprint_stack",
-    "scenario_cache_token",
 ]
 
 
@@ -50,20 +49,6 @@ def fingerprint_stack(stack: ProjectionStack) -> str:
     digest.update(np.ascontiguousarray(stack.data).tobytes())
     digest.update(np.ascontiguousarray(stack.angles).tobytes())
     return digest.hexdigest()[:16]
-
-
-def scenario_cache_token(scenario: str) -> str:
-    """The cache-identity token of a scenario preset name.
-
-    Registered presets resolve to their
-    :attr:`~repro.scenarios.AcquisitionScenario.cache_token` — two preset
-    *names* that describe the same protocol share filtered projections.
-    Unregistered names are used verbatim (callers with ad-hoc scenarios
-    still get correct, if conservative, isolation).
-    """
-    from ..scenarios import cache_token_for  # late import: scenarios import core
-
-    return cache_token_for(scenario)
 
 
 @dataclass(frozen=True)
@@ -101,7 +86,16 @@ class CacheKey:
 
     @classmethod
     def for_job(cls, job) -> "CacheKey":
-        """Key of the filtered projections a job consumes."""
+        """Key of the filtered projections a job consumes.
+
+        The scenario token comes straight from
+        :func:`repro.scenarios.cache_token_for` — the canonical (and only)
+        scenario cache-identity function: registered presets resolve to
+        their :attr:`~repro.scenarios.AcquisitionScenario.cache_token`,
+        unregistered names are used verbatim.
+        """
+        from ..scenarios import cache_token_for  # late import: scenarios import core
+
         problem = job.problem
         return cls(
             dataset_id=job.dataset_id,
@@ -109,7 +103,7 @@ class CacheKey:
             nu=problem.nu,
             nv=problem.nv,
             np_=problem.np_,
-            scenario=scenario_cache_token(getattr(job, "scenario", "full_scan")),
+            scenario=cache_token_for(getattr(job, "scenario", "full_scan")),
             acquisition=getattr(job, "acquisition", ""),
         )
 

@@ -39,6 +39,8 @@ import numpy as np
 
 from ..core import default_geometry_for_problem
 from ..core.types import ProjectionStack, ReconstructionProblem, problem_from_string
+from ..obs import get_tracer
+from ..obs.tracer import Tracer
 from .job import ReconstructionJob
 from .scheduler import Placement
 
@@ -124,19 +126,54 @@ class BatchedDispatcher:
             return self._executor
 
     def dispatch(self, placements: Sequence[Placement]) -> None:
-        """Queue one scheduling cycle's placements as a single batch."""
+        """Queue one scheduling cycle's placements as a single batch.
+
+        The ambient tracer is captured *here*, on the dispatching thread:
+        each pilot's ``dispatch.execute`` span runs on a pool thread, where
+        thread-local ambience does not reach, so the tracer and the batch
+        span's id travel with the task explicitly.
+        """
         placements = list(placements)
         if not placements:
             return
         executor = self._ensure()
+        tracer = get_tracer()
         with self._lock:
             self.batches_dispatched += 1
-            for placement in placements:
-                self._pending.append(executor.submit(self._execute, placement.job))
+            with tracer.span("dispatch.batch", jobs=len(placements)) as batch:
+                parent = batch.span_id if tracer.enabled else None
+                for placement in placements:
+                    self._pending.append(
+                        executor.submit(
+                            self._execute,
+                            placement.job,
+                            tracer if tracer.enabled else None,
+                            parent,
+                        )
+                    )
 
-    def _execute(self, job: ReconstructionJob) -> None:
+    def _execute(
+        self,
+        job: ReconstructionJob,
+        tracer: Optional[Tracer] = None,
+        parent: Optional[int] = None,
+    ) -> None:
         start = time.perf_counter() - self._epoch
-        self._backend.backproject(self._stack, self._geometry, algorithm="proposed")
+        if tracer is not None:
+            with tracer.span(
+                "dispatch.execute",
+                payload_bytes=int(self._stack.data.nbytes),
+                parent=parent,
+                job=job.job_id,
+                backend=self.backend,
+            ):
+                self._backend.backproject(
+                    self._stack, self._geometry, algorithm="proposed"
+                )
+        else:
+            self._backend.backproject(
+                self._stack, self._geometry, algorithm="proposed"
+            )
         finish = time.perf_counter() - self._epoch
         # One pool slot per job, times the backend's own worker fan-out.
         occupied = getattr(self._backend, "workers", 1)

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Union
 
 from ..core.types import ReconstructionProblem
 from ..gpusim.device import DeviceSpec, TESLA_V100
+from ..obs import NULL_METRICS, MetricsRegistry, get_tracer
 from ..pipeline.perfmodel import IFDKPerformanceModel
 from .cache import CacheKey, FilteredProjectionCache
 from .dispatch import BatchedDispatcher
@@ -85,6 +86,7 @@ class ReconstructionService:
         backend: str = "reference",
         workers: int = 0,
         pilot_problem: Union[ReconstructionProblem, str, None] = None,
+        obs: Optional[MetricsRegistry] = None,
     ):
         from ..backends import get_backend  # late import: backends import core
 
@@ -114,6 +116,10 @@ class ReconstructionService:
         )
         self.queue = JobQueue(admission)
         self.metrics = ServiceMetrics()
+        # Lifetime instruments (queue waits, cache hits, scheduler cycles).
+        # ServiceMetrics stays the source of truth for per-job KPI
+        # reductions; the registry covers what per-job records cannot.
+        self.obs = obs if obs is not None else NULL_METRICS
         self._running: List[Placement] = []
         self._finish_heap: List = []  # (finish, sequence, Placement)
         self.clock_seconds = 0.0
@@ -161,11 +167,14 @@ class ReconstructionService:
                     f"{self.cluster.total_gpus} x {self.cluster.device.name}"
                 )
                 self.metrics.record_rejection(job)
+                self.obs.counter("service.jobs_rejected").inc()
                 return False
             job.estimated_seconds = feasibility.runtime_seconds
             if not self.queue.offer(job):
                 self.metrics.record_rejection(job)
+                self.obs.counter("service.jobs_rejected").inc()
                 return False
+            self.obs.counter("service.jobs_submitted").inc()
             return True
 
     def submit_plan(
@@ -195,18 +204,30 @@ class ReconstructionService:
 
     def _dispatch(self, now: float) -> None:
         with self._lock:
-            placements, rejected = self.scheduler.schedule(
-                self.queue, now, self._running
-            )
+            with get_tracer().span("service.schedule", now=now, queued=len(self.queue)):
+                placements, rejected = self.scheduler.schedule(
+                    self.queue, now, self._running
+                )
+            self.obs.counter("service.scheduler_cycles").inc()
             for job in rejected:
                 self.metrics.record_rejection(job)
+                self.obs.counter("service.jobs_rejected").inc()
             for placement in placements:
                 self._running.append(placement)
                 heapq.heappush(
                     self._finish_heap,
                     (placement.finish_seconds, placement.job.sequence, placement),
                 )
+                self.obs.counter("service.jobs_placed").inc()
+                self.obs.histogram("service.queue_wait_seconds").observe(
+                    placement.start_seconds - placement.job.arrival_seconds
+                )
+                if placement.plan.cache_hit:
+                    self.obs.counter("service.cache_hits").inc()
+                else:
+                    self.obs.counter("service.cache_misses").inc()
             self.metrics.sample_queue_depth(now, len(self.queue))
+            self.obs.gauge("service.queue_depth").set(len(self.queue))
         # Real execution rides along as one batch per scheduling cycle; the
         # pool runs outside the lock so submissions never wait on pilots.
         if self.dispatcher is not None and placements:
@@ -220,6 +241,11 @@ class ReconstructionService:
             job = placement.job
             job.mark_completed(now)
             self.metrics.record_completion(job)
+            self.obs.counter("service.jobs_completed").inc()
+            if job.latency_seconds is not None:
+                self.obs.histogram("service.latency_seconds").observe(
+                    job.latency_seconds
+                )
             # Filtering ran as part of the job (unless it was a hit); its
             # output is now on the PFS for every later job on the dataset.
             self.cache.insert(
@@ -342,3 +368,7 @@ class ReconstructionService:
             description=description,
             backend=self.backend,
         )
+
+    def obs_snapshot(self) -> Dict[str, float]:
+        """Flat snapshot of the lifetime instruments (empty when disabled)."""
+        return self.obs.snapshot()

@@ -163,12 +163,25 @@ class ArrivalTrace:
             raise ValueError(f"trace is not valid JSON: {exc}") from exc
         if not isinstance(payload, dict) or "jobs" not in payload:
             raise ValueError("trace must be a JSON object with a 'jobs' array")
+        if not isinstance(payload["jobs"], list):
+            raise ValueError(
+                f"trace 'jobs' must be an array, got "
+                f"{type(payload['jobs']).__name__}"
+            )
         version = payload.get("version", TRACE_VERSION)
         if version != TRACE_VERSION:
             raise ValueError(f"unsupported trace version {version!r}")
+        if not all(isinstance(job, dict) for job in payload["jobs"]):
+            raise ValueError("every trace job entry must be a JSON object")
+        try:
+            cluster_gpus = int(payload.get("cluster_gpus", 16))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"trace 'cluster_gpus' must be an integer: {exc}"
+            ) from exc
         return cls(
             entries=[TraceEntry.from_json(job) for job in payload["jobs"]],
-            cluster_gpus=int(payload.get("cluster_gpus", 16)),
+            cluster_gpus=cluster_gpus,
             description=str(payload.get("description", "")),
         )
 

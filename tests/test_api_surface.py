@@ -25,6 +25,7 @@ REPRO_EXPORTS = [
     "core",
     "gpusim",
     "mpi",
+    "obs",
     "pfs",
     "pipeline",
     "scenarios",

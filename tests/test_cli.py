@@ -463,6 +463,89 @@ class TestSubmitPlanKeyParity:
         assert by_flags["tenant"] == by_plan["tenant"]
 
 
+@pytest.mark.obs
+class TestObservabilityCLI:
+    """``--trace-out`` on the run commands and the ``repro report`` viewer."""
+
+    SMALL = "24x24x6->12x12x12"
+
+    def reconstruct_trace(self, tmp_path, capsys, suffix=".json"):
+        path = tmp_path / f"trace{suffix}"
+        assert main(["reconstruct", "--problem", self.SMALL,
+                     "--trace-out", str(path)]) == 0
+        return path, capsys.readouterr()
+
+    def test_reconstruct_trace_out_writes_trace_and_report(self, tmp_path, capsys):
+        path, captured = self.reconstruct_trace(tmp_path, capsys)
+        payload = json.loads(captured.out)
+        report = payload["run_report"]
+        assert report["traced"] is True
+        assert report["span_count"] >= 3
+        assert "spans written to" in captured.err
+        assert "backprojection" in captured.err  # the summary block
+        document = json.loads(path.read_text())
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert {"run", "filter", "backproject"} <= names
+
+    def test_trace_out_bad_suffix_exits_2_before_running(self, tmp_path, capsys):
+        assert main(["reconstruct", "--problem", self.SMALL,
+                     "--trace-out", str(tmp_path / "trace.xml")]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # failed up front, no reconstruction ran
+        assert "error:" in captured.err and ".xml" in captured.err
+
+    def test_report_renders_summary(self, tmp_path, capsys):
+        path, _ = self.reconstruct_trace(tmp_path, capsys)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "backproject" in out and "filter" in out
+
+    def test_report_converts_between_formats(self, tmp_path, capsys):
+        path, _ = self.reconstruct_trace(tmp_path, capsys)
+        jsonl = tmp_path / "trace.jsonl"
+        assert main(["report", str(path), "--format", "jsonl",
+                     "-o", str(jsonl)]) == 0
+        capsys.readouterr()
+        # The converted file is itself a loadable report input.
+        assert main(["report", str(jsonl)]) == 0
+        assert "run" in capsys.readouterr().out
+
+    def test_report_unknown_format_exits_2(self, tmp_path, capsys):
+        path, _ = self.reconstruct_trace(tmp_path, capsys)
+        assert main(["report", str(path), "--format", "protobuf"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "protobuf" in err
+        assert len(err.strip().splitlines()) == 1  # one-line error
+
+    def test_report_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{definitely not a trace")
+        assert main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_report_wrong_json_shape_exits_2(self, tmp_path, capsys):
+        not_a_trace = tmp_path / "plan.json"
+        assert main(["plan", "emit", "-o", str(not_a_trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(not_a_trace)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_submit_trace_out_records_service_spans(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        assert main(["submit", "--problem", "512x512x1024->256x256x256",
+                     "--gpus", "4", "--slo", "1000",
+                     "--trace-out", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["state"] == "completed"
+        assert "service.schedule" in path.read_text()  # summary format
+
+
 class TestPlanValidateFlagStrictness:
     """plan validate/describe never silently ignore plan-building flags."""
 

@@ -1,0 +1,376 @@
+"""The observability layer: tracer, metrics, exporters, run reports.
+
+Four contracts are locked down here:
+
+* the **no-op path is free**: the null tracer's span sites cost so little
+  that instrumented hot loops are indistinguishable from uninstrumented
+  ones (micro-bound in tier-1; the strict 2%-of-wall assertion runs with
+  the wall-clock suite under ``-m slow``);
+* spans **nest correctly across threads**: the parallel backend's worker
+  spans parent under the dispatching stage span at 1 and 4 workers, and a
+  tracer shared by many threads never loses or aliases a span;
+* the **exporters round-trip**: the Chrome trace document validates
+  against the trace-event schema and both exporters reload to the same
+  spans;
+* the **run report and the trace agree**: ``RunResult.report`` stage
+  seconds match the span totals in the exported Chrome trace within ±10%
+  for every backend, and stage seconds never exceed the wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Session, plan_for_problem
+from repro.backends import BACKEND_NAMES
+from repro.core.types import ProjectionStack
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    RunReport,
+    Span,
+    Tracer,
+    chrome_trace,
+    get_tracer,
+    jsonl_lines,
+    load_trace,
+    summary_tree,
+    use_tracer,
+    write_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+PROBLEM = "48x32x24->24x24x12"
+
+
+def _stack_for(plan):
+    rng = np.random.default_rng(7)
+    geometry = plan.geometry
+    return ProjectionStack(
+        data=rng.standard_normal(
+            (geometry.np_, geometry.nv, geometry.nu)
+        ).astype(np.float32),
+        angles=geometry.angles,
+    )
+
+
+def _traced_run(backend, *, workers=None, problem=PROBLEM):
+    plan = plan_for_problem(problem, backend=backend, workers=workers)
+    tracer = Tracer()
+    result = Session(plan, tracer=tracer).run(_stack_for(plan))
+    return plan, tracer, result
+
+
+# --------------------------------------------------------------------- #
+# Tracer core: nesting, records, ambient installation.
+# --------------------------------------------------------------------- #
+
+def test_spans_nest_within_a_thread():
+    tracer = Tracer()
+    with tracer.span("outer", payload_bytes=10, kind="test") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    spans = {span.name: span for span in tracer.spans()}
+    assert spans["outer"].parent_id is None
+    assert spans["inner"].parent_id == outer.span_id
+    assert spans["outer"].payload_bytes == 10
+    assert spans["outer"].attrs["kind"] == "test"
+    assert spans["inner"].start >= spans["outer"].start
+    assert spans["inner"].stop <= spans["outer"].stop
+    assert inner.span_id != outer.span_id
+
+
+def test_span_record_roundtrip_and_malformed_record():
+    tracer = Tracer()
+    with tracer.span("stage", payload_bytes=3, backend="ref"):
+        pass
+    span = tracer.spans()[0]
+    assert Span.from_record(span.as_record()) == span
+    with pytest.raises(ValueError):
+        Span.from_record({"name": "no-times"})
+
+
+def test_ambient_tracer_defaults_to_null_and_restores():
+    assert get_tracer() is NULL_TRACER
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+        with use_tracer(None):
+            assert get_tracer() is NULL_TRACER
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    assert not tracer.enabled
+    with tracer.span("anything", payload_bytes=99, attr=1):
+        pass
+    tracer.record("anything", 0.0, 1.0)
+    assert len(tracer) == 0
+    assert tracer.current_span_id() is None
+
+
+def test_noop_span_sites_are_cheap():
+    """Tier-1 micro-bound: a null span site must cost well under 25 µs.
+
+    The strict "disabled tracing adds < 2% of reconstruction wall time"
+    assertion lives in ``test_disabled_tracing_overhead_within_2pct``
+    (slow tier) — this bound keeps the no-op path honest without a
+    wall-clock flake in the blocking suite.
+    """
+    tracer = NULL_TRACER
+    n = 20_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("site"):
+            pass
+    elapsed = time.perf_counter() - start
+    assert elapsed < n * 25e-6, (
+        f"{n} null span sites took {elapsed:.3f}s ({elapsed / n * 1e6:.1f} "
+        "µs each); the no-op path must stay negligible"
+    )
+
+
+def test_tracer_is_thread_safe():
+    tracer = Tracer()
+    n_threads, n_spans = 8, 200
+
+    def emit(index):
+        with use_tracer(tracer):
+            for i in range(n_spans):
+                with tracer.span("work", worker=index, i=i):
+                    pass
+
+    threads = [
+        threading.Thread(target=emit, args=(index,))
+        for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    spans = tracer.spans()
+    assert len(spans) == n_threads * n_spans
+    assert len({span.span_id for span in spans}) == len(spans)
+    # Per-thread stacks: spans emitted by different threads never parent
+    # under each other implicitly.
+    assert all(span.parent_id is None for span in spans)
+
+
+# --------------------------------------------------------------------- #
+# Parallel backend: worker spans nest under their stage at 1 and 4 workers.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("workers", [1, 4])
+def test_parallel_worker_spans_nest_under_stages(workers):
+    _, tracer, result = _traced_run("parallel", workers=workers)
+    by_name = {}
+    for span in tracer.spans():
+        by_name.setdefault(span.name, []).append(span)
+    assert set(by_name) >= {
+        "run", "filter", "filter.worker", "backproject", "backproject.worker",
+    }
+    (filter_span,) = by_name["filter"]
+    (backproject_span,) = by_name["backproject"]
+    assert all(
+        span.parent_id == filter_span.span_id
+        for span in by_name["filter.worker"]
+    )
+    assert all(
+        span.parent_id == backproject_span.span_id
+        for span in by_name["backproject.worker"]
+    )
+    workers_seen = {
+        span.attrs["worker"] for span in by_name["backproject.worker"]
+    }
+    assert len(workers_seen) == workers
+    assert result.report.traced
+    assert result.report.span_count == len(tracer)
+
+
+# --------------------------------------------------------------------- #
+# Exporters: Chrome trace schema + round-trips.
+# --------------------------------------------------------------------- #
+
+def test_chrome_trace_schema():
+    _, tracer, _ = _traced_run("vectorized")
+    document = chrome_trace(tracer)
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    events = document["traceEvents"]
+    assert isinstance(events, list) and events
+    complete = [event for event in events if event["ph"] == "X"]
+    metadata = [event for event in events if event["ph"] == "M"]
+    assert len(complete) == len(tracer)
+    assert metadata, "thread_name metadata events must be present"
+    for event in complete:
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert isinstance(event["args"]["span_id"], int)
+    for event in metadata:
+        assert event["name"] == "thread_name"
+    # The document is pure JSON.
+    json.dumps(document)
+
+
+def test_exporters_roundtrip_and_summary(tmp_path):
+    _, tracer, _ = _traced_run("blocked")
+    chrome_path = write_trace(tracer, tmp_path / "t.json")
+    jsonl_path = write_trace(tracer, tmp_path / "t.jsonl")
+    for path in (chrome_path, jsonl_path):
+        spans = load_trace(path)
+        assert len(spans) == len(tracer)
+        assert {span.name for span in spans} == {
+            span.name for span in tracer.spans()
+        }
+    assert jsonl_lines(tracer)[0] == json.dumps(
+        {"format": "repro-trace", "version": 1}
+    )
+    tree = summary_tree(tracer)
+    assert "run" in tree and "backproject" in tree
+
+
+# --------------------------------------------------------------------- #
+# Run reports: stage split vs wall time, and report-vs-trace agreement.
+# --------------------------------------------------------------------- #
+
+def test_report_stage_seconds_consistent_with_wall():
+    _, tracer, result = _traced_run("vectorized")
+    report = result.report
+    assert report is not None and report.traced
+    assert report.gups > 0
+    assert report.peak_rss_bytes > 0
+    # The measured split can never exceed the wall time, and the two
+    # stages must account for the bulk of a reconstruction this small.
+    assert 0 < report.stage_sum_seconds <= report.wall_seconds
+    assert report.stage_sum_seconds >= 0.5 * report.wall_seconds
+    # The run root span is the wall time.
+    assert report.stage_seconds["run"] == pytest.approx(
+        report.wall_seconds, rel=0.10, abs=5e-3
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_NAMES))
+def test_report_agrees_with_exported_trace_per_backend(backend, tmp_path):
+    """Acceptance pin: report stage seconds vs Chrome-trace span sums, ±10%."""
+    workers = 2 if backend == "parallel" else None
+    _, tracer, result = _traced_run(backend, workers=workers)
+    path = write_trace(tracer, tmp_path / "trace.json", format="chrome")
+    spans = load_trace(path)
+    by_stage = {}
+    for span in spans:
+        by_stage[span.name] = by_stage.get(span.name, 0.0) + span.duration
+    report = result.report
+    for stage, measured in (
+        ("filter", report.filter_seconds),
+        ("backproject", report.backprojection_seconds),
+    ):
+        assert by_stage[stage] == pytest.approx(measured, rel=0.10, abs=5e-3), (
+            f"{backend}: span sum for {stage!r} diverges from the report"
+        )
+
+
+def test_untraced_run_is_structurally_clean():
+    plan = plan_for_problem(PROBLEM, backend="vectorized")
+    stack = _stack_for(plan)
+    untraced = Session(plan).run(stack)
+    traced = Session(plan, tracer=Tracer()).run(stack)
+    assert untraced.report is not None
+    assert not untraced.report.traced
+    assert untraced.report.span_count == 0
+    assert untraced.report.stage_seconds == {}
+    # Instrumentation must not perturb the numerics.
+    np.testing.assert_array_equal(untraced.volume.data, traced.volume.data)
+
+
+def test_run_report_summary_and_dict():
+    _, _, result = _traced_run("reference")
+    report = result.report
+    payload = report.as_dict()
+    json.dumps(payload)
+    assert payload["traced"] is True
+    assert payload["span_count"] == report.span_count
+    text = report.summary()
+    assert "wall" in text and "backprojection" in text and "spans" in text
+    rebuilt = RunReport(**payload)
+    assert rebuilt.stage_sum_seconds == pytest.approx(report.stage_sum_seconds)
+
+
+# --------------------------------------------------------------------- #
+# Metrics registry.
+# --------------------------------------------------------------------- #
+
+def test_metrics_registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("jobs").inc()
+    registry.counter("jobs").inc(2)
+    registry.gauge("depth").set(5)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("latency").observe(value)
+    snapshot = registry.snapshot()
+    assert snapshot["jobs"] == 3
+    assert snapshot["depth"] == 5
+    assert snapshot["latency_count"] == 4
+    assert snapshot["latency_p50"] == pytest.approx(2.0, abs=1.0)
+    assert snapshot["latency_max"] == 4.0
+    with pytest.raises(ValueError):
+        registry.gauge("jobs")  # kind mismatch
+
+
+def test_null_metrics_registry_is_inert():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("jobs").inc()
+    registry.histogram("latency").observe(1.0)
+    assert registry.snapshot() == {}
+
+
+# --------------------------------------------------------------------- #
+# The strict wall-clock bound (slow tier: wall-clock assertions flake
+# under load in the blocking suite; the benchmarks CI job runs them).
+# --------------------------------------------------------------------- #
+
+@pytest.mark.slow
+@pytest.mark.bench
+def test_disabled_tracing_overhead_within_2pct():
+    """With tracing disabled, reconstruction wall time stays within 2% of
+    the untraced baseline.
+
+    The shipped disabled path *is* the baseline code plus null span sites,
+    so the honest measurable quantity is the cost of those sites relative
+    to the reconstruction they instrument: count the sites an enabled run
+    records, price a site on the null path, and require the total to stay
+    under 2% of the measured untraced wall time.
+    """
+    plan = plan_for_problem("96x64x48->48x48x24", backend="vectorized")
+    stack = _stack_for(plan)
+
+    session = Session(plan)
+    session.run(stack)  # warm-up: grid caches, FFT plans
+    untraced_wall = min(
+        Session(plan).run(stack).report.wall_seconds for _ in range(3)
+    )
+
+    tracer = Tracer()
+    Session(plan, tracer=tracer).run(stack)
+    n_sites = len(tracer)
+
+    reps = 2_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with NULL_TRACER.span("site"):
+            pass
+    per_site = (time.perf_counter() - start) / reps
+
+    overhead = n_sites * per_site
+    assert overhead < 0.02 * untraced_wall, (
+        f"{n_sites} null span sites cost {overhead * 1e3:.3f} ms, more than "
+        f"2% of the {untraced_wall * 1e3:.1f} ms untraced reconstruction"
+    )

@@ -665,6 +665,20 @@ class TestScenarioAwareService:
             make_job(dataset_id="ds-1", scenario="custom-protocol")
         ).scenario == "custom-protocol"
 
+    def test_for_job_token_agrees_with_scenarios_for_every_preset(self):
+        """There is exactly one scenario cache-identity function.
+
+        The service cache used to carry its own ``scenario_cache_token``
+        copy of this mapping; it now delegates to
+        :func:`repro.scenarios.cache_token_for`.  Pin the agreement on
+        every registered preset so the two layers can never drift again.
+        """
+        from repro.scenarios import SCENARIO_PRESETS, cache_token_for
+
+        for name, scenario in SCENARIO_PRESETS.items():
+            key = CacheKey.for_job(make_job(dataset_id="ds-1", scenario=name))
+            assert key.scenario == cache_token_for(name) == scenario.cache_token
+
     def test_service_cache_misses_across_scenarios(self):
         """End to end: a short-scan job on a cached dataset is not a hit."""
         service = ReconstructionService(8)
