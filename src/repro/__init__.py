@@ -39,6 +39,12 @@ Sub-packages
     Acquisition scenarios: declarative short-scan, offset-detector,
     sparse-view and noisy protocols with redundancy weighting, locked
     down by the scenario × backend conformance matrix.
+``repro.streaming``
+    Chunked streaming reconstruction: the ``ProjectionChunkSource``
+    protocol (in-memory, PFS-backed and online circular-buffer sources)
+    and the ``StreamingReconstructor`` that pipelines per-chunk filtering
+    into accumulation under an explicit memory budget — bit-identical to
+    the whole-stack path on every backend.
 ``repro.obs``
     Unified observability: the ambient span tracer and metrics registry
     the backends, pipeline and service are instrumented against, run
@@ -64,6 +70,7 @@ from . import (
     pipeline,
     scenarios,
     service,
+    streaming,
 )
 from .api import ReconstructionPlan, RunResult, Session
 
@@ -84,5 +91,6 @@ __all__ = [
     "pipeline",
     "scenarios",
     "service",
+    "streaming",
     "__version__",
 ]

@@ -243,6 +243,18 @@ class ReconstructionPlan:
     cluster_gpus, tenant, priority, slo_seconds:
         Service-target quality-of-service description, mapped onto the
         submitted :class:`~repro.service.job.ReconstructionJob`.
+    streaming, chunk_size, memory_budget_bytes:
+        Chunked execution on the ``fdk`` target: ``streaming=True`` routes
+        :meth:`Session.run` through the
+        :class:`~repro.streaming.StreamingReconstructor`, filtering and
+        back-projecting ``chunk_size`` projections at a time under
+        ``memory_budget_bytes`` (see
+        :func:`~repro.streaming.resolve_chunk_size` for how the two knobs
+        combine).  Streaming output is bit-identical to the whole-stack
+        path, so the fields change *how* a plan executes, not what it
+        computes — but they are part of :meth:`key` (execution identity),
+        like ``backend`` and ``workers``, and excluded from
+        :meth:`filter_key`.
     """
 
     geometry: CBCTGeometry
@@ -259,6 +271,9 @@ class ReconstructionPlan:
     tenant: str = "default"
     priority: int = 1
     slo_seconds: Optional[float] = None
+    streaming: bool = False
+    chunk_size: Optional[int] = None
+    memory_budget_bytes: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -323,7 +338,8 @@ class ReconstructionPlan:
         # so anything that is not a true int here would survive validation
         # and then break the lossless round-trip (2.5 -> 2 silently).
         for name, minimum in (("workers", 1), ("rows", 1), ("columns", 1),
-                              ("cluster_gpus", 1), ("priority", 0)):
+                              ("cluster_gpus", 1), ("priority", 0),
+                              ("chunk_size", 1), ("memory_budget_bytes", 1)):
             value = getattr(self, name)
             if value is None:
                 continue
@@ -385,6 +401,37 @@ class ReconstructionPlan:
             raise ValueError(
                 "slo_seconds must be a positive finite number when given"
             )
+        if not isinstance(self.streaming, bool):
+            raise ValueError(
+                f"streaming must be a boolean (got {self.streaming!r})"
+            )
+        if self.streaming:
+            if self.target != "fdk":
+                raise ValueError(
+                    "streaming execution is only wired for the fdk target "
+                    f"(this plan targets {self.target!r}); the service "
+                    "dispatcher streams via its own streaming_chunk_size "
+                    "configuration, not per-plan fields"
+                )
+            from ..streaming import resolve_chunk_size  # late: streaming imports core
+
+            # Fail the impossible chunk/budget combination at validation
+            # time (too-small budget, chunk exceeding budget), not mid-run.
+            resolve_chunk_size(
+                self.scenario_geometry(), self.scenario_geometry().np_,
+                chunk_size=self.chunk_size,
+                memory_budget_bytes=self.memory_budget_bytes,
+            )
+        else:
+            extras = sorted(
+                name for name in ("chunk_size", "memory_budget_bytes")
+                if getattr(self, name) is not None
+            )
+            if extras:
+                raise ValueError(
+                    f"{', '.join(extras)} only apply when streaming is "
+                    "enabled (set streaming: true)"
+                )
         for name in _GEOMETRY_FLOAT_FIELDS:
             if not math.isfinite(float(getattr(self.geometry, name))):
                 raise ValueError(f"geometry.{name} must be finite")
@@ -413,6 +460,14 @@ class ReconstructionPlan:
             "slo_seconds": (
                 None if self.slo_seconds is None else float(self.slo_seconds)
             ),
+            "streaming": bool(self.streaming),
+            "chunk_size": (
+                None if self.chunk_size is None else int(self.chunk_size)
+            ),
+            "memory_budget_bytes": (
+                None if self.memory_budget_bytes is None
+                else int(self.memory_budget_bytes)
+            ),
         }
 
     @classmethod
@@ -430,6 +485,7 @@ class ReconstructionPlan:
             "version", "geometry", "target", "scenario", "backend",
             "workers", "dtype", "ramp_filter", "algorithm", "rows",
             "columns", "cluster_gpus", "tenant", "priority", "slo_seconds",
+            "streaming", "chunk_size", "memory_budget_bytes",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -448,6 +504,11 @@ class ReconstructionPlan:
             return None if value is None else _as_int(name, value)
 
         slo = payload.get("slo_seconds")
+        streaming = payload.get("streaming", False)
+        if not isinstance(streaming, bool):
+            raise ValueError(
+                f"plan field 'streaming' must be a boolean, got {streaming!r}"
+            )
         return cls(
             geometry=_geometry_from_dict(payload["geometry"]),
             target=str(payload.get("target", "fdk")),
@@ -463,6 +524,9 @@ class ReconstructionPlan:
             tenant=str(payload.get("tenant", "default")),
             priority=_as_int("priority", payload.get("priority", 1)),
             slo_seconds=None if slo is None else _as_float("slo_seconds", slo),
+            streaming=streaming,
+            chunk_size=opt_int("chunk_size"),
+            memory_budget_bytes=opt_int("memory_budget_bytes"),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -549,6 +613,16 @@ class ReconstructionPlan:
         }
         if not scenario.is_ideal:
             summary["scenario_cache_token"] = scenario.cache_token
+        if self.streaming:
+            from ..streaming import resolve_chunk_size  # late: streaming imports core
+
+            summary["streaming"] = True
+            summary["chunk_size"] = resolve_chunk_size(
+                executed, executed.np_,
+                chunk_size=self.chunk_size,
+                memory_budget_bytes=self.memory_budget_bytes,
+            )
+            summary["memory_budget_bytes"] = self.memory_budget_bytes
         if self.target == "ifdk":
             summary["rows"] = self.rows
             summary["columns"] = self.columns

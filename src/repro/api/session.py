@@ -7,7 +7,11 @@ acquisition scenario and its derived geometry, and the execution engine
 for the plan's target:
 
 ``fdk``
-    A configured :class:`~repro.core.fdk.FDKReconstructor`.
+    A configured :class:`~repro.core.fdk.FDKReconstructor` — or, when the
+    plan sets ``streaming: true``, a
+    :class:`~repro.streaming.StreamingReconstructor` fed through a
+    :class:`~repro.streaming.StackChunkSource`, chunking the same
+    reconstruction under the plan's memory budget (bit-identical output).
 ``ifdk``
     An :class:`~repro.pipeline.ifdk.IFDKFramework` over
     :meth:`IFDKConfig.from_plan <repro.pipeline.config.IFDKConfig.from_plan>`.
@@ -109,11 +113,26 @@ class Session:
         self._framework = None
         self._service = None
         self._reconstructor: Optional[FDKReconstructor] = None
+        self._streaming = None
+        self._streaming_metrics = None
         if plan.target == "ifdk":
             from ..pipeline.config import IFDKConfig
             from ..pipeline.ifdk import IFDKFramework
 
             self._framework = IFDKFramework(IFDKConfig.from_plan(plan))
+        elif plan.target == "fdk" and plan.streaming:
+            from ..obs import MetricsRegistry
+            from ..streaming import StreamingReconstructor
+
+            # Chunk metrics ride along with tracing, like the service's
+            # lifetime instruments; untraced sessions keep the no-op
+            # registry so the hot loop stays instrument-free.
+            self._streaming_metrics = (
+                MetricsRegistry() if self.tracer.enabled else None
+            )
+            self._streaming = StreamingReconstructor.from_plan(
+                plan, metrics=self._streaming_metrics
+            )
         else:
             # Single-node compute path, shared by the fdk and service
             # targets.  For the service target the plan's workers size the
@@ -264,6 +283,32 @@ class Session:
                 wall_seconds=wall,
                 details=details,
             )
+        if self._streaming is not None:
+            from ..streaming import StackChunkSource
+
+            streamed = self._streaming.reconstruct(StackChunkSource(stack))
+            wall = time.perf_counter() - start
+            details.update(
+                streaming=True,
+                chunk_size=streamed.chunk_size,
+                chunks=streamed.chunk_count,
+                working_set_bytes=streamed.working_set_bytes,
+                memory_budget_bytes=streamed.memory_budget_bytes,
+                peak_rss_bytes=streamed.peak_rss_bytes,
+            )
+            if self._streaming_metrics is not None:
+                details["streaming_obs"] = self._streaming_metrics.snapshot()
+            return RunResult(
+                volume=streamed.volume,
+                plan=self.plan,
+                plan_key=self.plan_key,
+                target=self.plan.target,
+                geometry=self._geometry,
+                filter_seconds=streamed.filter_seconds,
+                backprojection_seconds=streamed.backprojection_seconds,
+                wall_seconds=wall,
+                details=details,
+            )
         fdk = self._reconstructor.reconstruct(stack)
         if self._service is not None:
             from ..service.cache import fingerprint_stack
@@ -296,6 +341,8 @@ class Session:
         """Release every resource the session resolved (idempotent)."""
         if self._reconstructor is not None:
             self._reconstructor.close()
+        if self._streaming is not None:
+            self._streaming.close()
         if self._service is not None:
             self._service.close()
         if self._framework is not None:

@@ -7,7 +7,9 @@ Nine subcommands cover the workflows a downstream user needs:
     FDK pipeline — single-node or distributed on the simulated cluster —
     writing the volume (as ``.npy``) and a JSON report.  ``--scenario``
     replays the acquisition through a non-ideal protocol (short-scan,
-    offset-detector, sparse-view, noisy) before reconstructing, and
+    offset-detector, sparse-view, noisy) before reconstructing,
+    ``--stream`` (with ``--chunk-size`` / ``--memory-budget``) runs the
+    chunked streaming executor instead of the whole-stack path, and
     ``--plan plan.json`` executes a declarative
     :class:`~repro.api.ReconstructionPlan` instead of explicit flags.
 ``plan``
@@ -100,7 +102,7 @@ DEFAULT_SUBMIT_PROBLEM = "2048x2048x1024->1024x1024x1024"
 _PLAN_FLAG_NAMES = (
     "problem", "backend", "workers", "scenario", "ramp_filter",
     "algorithm", "distributed", "rows", "columns", "gpus", "slo",
-    "priority", "target",
+    "priority", "target", "stream", "chunk_size", "memory_budget",
 )
 
 
@@ -112,6 +114,7 @@ def add_plan_args(
     workers: bool = True,
     scenario: bool = True,
     ramp_filter: bool = False,
+    streaming: bool = False,
     plan_file: bool = False,
 ) -> None:
     """Register the shared reconstruction-plan flags on a subparser.
@@ -152,6 +155,24 @@ def add_plan_args(
         parser.add_argument(
             "--ramp-filter", dest="ramp_filter", default=None,
             help="ramp-filter window (default: ram-lak)",
+        )
+    if streaming:
+        parser.add_argument(
+            "--stream", action="store_true", default=False,
+            help="stream the reconstruction chunk by chunk instead of "
+                 "materializing the whole filtered stack (fdk target only)",
+        )
+        parser.add_argument(
+            "--chunk-size", dest="chunk_size", type=int, default=None,
+            metavar="N",
+            help="projections per streaming chunk (requires --stream; "
+                 "default: derived from --memory-budget, else 16)",
+        )
+        parser.add_argument(
+            "--memory-budget", dest="memory_budget", default=None,
+            metavar="BYTES",
+            help="bound the streaming working set, e.g. 268435456, 256MiB "
+                 "or 1.5G (requires --stream)",
         )
     if plan_file:
         parser.add_argument(
@@ -253,6 +274,14 @@ def plan_from_args(
         value = getattr(args, flag, None)
         if value is not None:
             fields[field] = value
+    if getattr(args, "stream", False):
+        fields["streaming"] = True
+    if getattr(args, "chunk_size", None) is not None:
+        fields["chunk_size"] = args.chunk_size
+    if getattr(args, "memory_budget", None) is not None:
+        from .streaming import parse_byte_size
+
+        fields["memory_budget_bytes"] = parse_byte_size(args.memory_budget)
     _validated_workers(fields.get("workers"))
     if target == "ifdk":
         fields.setdefault("rows", 2)
@@ -274,7 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     rec = sub.add_parser("reconstruct", help="reconstruct a synthetic Shepp-Logan scan")
     add_plan_args(
-        rec, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True, plan_file=True
+        rec, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True,
+        streaming=True, plan_file=True,
     )
     rec.add_argument("--algorithm", choices=("proposed", "standard"), default=None,
                      help="back-projection algorithm (default: proposed)")
@@ -295,7 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit a plan from flags, or check/describe a plan file")
     plan_p.add_argument("plan_file", nargs="?", type=Path,
                         help="plan JSON file (for validate/describe)")
-    add_plan_args(plan_p, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True)
+    add_plan_args(
+        plan_p, problem=DEFAULT_RECONSTRUCT_PROBLEM, ramp_filter=True,
+        streaming=True,
+    )
     plan_p.add_argument("--algorithm", choices=("proposed", "standard"), default=None,
                         help="back-projection algorithm (default: proposed)")
     plan_p.add_argument("--target", choices=TARGETS, default=None,
@@ -451,6 +484,15 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
             backprojection_seconds=result.backprojection_seconds,
             gups=result.gups,
         )
+        if plan.streaming:
+            report.update(
+                streaming=True,
+                chunk_size=result.details["chunk_size"],
+                chunks=result.details["chunks"],
+                working_set_bytes=result.details["working_set_bytes"],
+                memory_budget_bytes=result.details["memory_budget_bytes"],
+                peak_rss_bytes=result.details["peak_rss_bytes"],
+            )
         if plan.target == "service":
             report["job"] = result.details["job"]
 

@@ -71,6 +71,14 @@ class BatchedDispatcher:
         The scaled-down problem every pilot solves (a
         :class:`ReconstructionProblem` or spec string).  The pilot input
         stack is seeded and built once; workers share it read-only.
+    streaming_chunk_size:
+        When set, pilots execute through the chunked
+        :class:`~repro.streaming.StreamingReconstructor` (fed by a
+        :class:`~repro.streaming.StackChunkSource` over the shared pilot
+        stack) instead of one whole-stack ``backproject`` call — the
+        streaming executor under the same concurrent-caller regime the
+        scheduler produces.  Output is bit-identical either way, so this
+        is a service *configuration*, not a plan field.
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class BatchedDispatcher:
         *,
         backend: str = "parallel",
         pilot_problem: Union[ReconstructionProblem, str, None] = None,
+        streaming_chunk_size: Optional[int] = None,
     ):
         if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
             raise ValueError(f"workers must be a positive integer (got {workers!r})")
@@ -103,6 +112,22 @@ class BatchedDispatcher:
             angles=self._geometry.angles,
             filtered=True,  # pilots exercise the back-projection hot path
         )
+        self._streaming = None
+        self._source = None
+        if streaming_chunk_size is not None:
+            from ..streaming import StackChunkSource, StreamingReconstructor
+
+            # One shared reconstructor over the service's backend instance:
+            # each reconstruct() call builds its own accumulator, so
+            # concurrent pilots are as independent as concurrent
+            # backproject() calls.
+            self._streaming = StreamingReconstructor(
+                self._geometry,
+                backend=self._backend,
+                chunk_size=streaming_chunk_size,
+            )
+            self._source = StackChunkSource(self._stack)
+        self.streaming_chunk_size = streaming_chunk_size
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._pending: List[Future] = []
@@ -152,6 +177,15 @@ class BatchedDispatcher:
                         )
                     )
 
+    def _run_pilot(self) -> None:
+        """One pilot reconstruction: whole-stack or chunked streaming."""
+        if self._streaming is not None:
+            self._streaming.reconstruct(self._source)
+        else:
+            self._backend.backproject(
+                self._stack, self._geometry, algorithm="proposed"
+            )
+
     def _execute(
         self,
         job: ReconstructionJob,
@@ -166,14 +200,11 @@ class BatchedDispatcher:
                 parent=parent,
                 job=job.job_id,
                 backend=self.backend,
+                streaming=self._streaming is not None,
             ):
-                self._backend.backproject(
-                    self._stack, self._geometry, algorithm="proposed"
-                )
+                self._run_pilot()
         else:
-            self._backend.backproject(
-                self._stack, self._geometry, algorithm="proposed"
-            )
+            self._run_pilot()
         finish = time.perf_counter() - self._epoch
         # One pool slot per job, times the backend's own worker fan-out.
         occupied = getattr(self._backend, "workers", 1)

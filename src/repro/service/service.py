@@ -86,6 +86,7 @@ class ReconstructionService:
         backend: str = "reference",
         workers: int = 0,
         pilot_problem: Union[ReconstructionProblem, str, None] = None,
+        streaming_chunk_size: Optional[int] = None,
         obs: Optional[MetricsRegistry] = None,
     ):
         from ..backends import get_backend  # late import: backends import core
@@ -99,7 +100,8 @@ class ReconstructionService:
         self.workers = int(workers)
         self.dispatcher: Optional[BatchedDispatcher] = (
             BatchedDispatcher(
-                self.workers, backend=self.backend, pilot_problem=pilot_problem
+                self.workers, backend=self.backend, pilot_problem=pilot_problem,
+                streaming_chunk_size=streaming_chunk_size,
             )
             if self.workers
             else None

@@ -1,0 +1,72 @@
+"""Chunked streaming reconstruction: out-of-core and online FDK.
+
+The whole-stack FDK path (`core.fdk` → `backends`) filters all ``Np``
+projections, then back-projects them — two full ``(Np, Nv, Nu)`` arrays
+resident at once.  This package refactors that handoff into a *chunk
+iterator* pipeline so reconstruction can (a) bound its working set by an
+explicit ``memory_budget_bytes`` for stacks that exceed node RAM, and
+(b) start before acquisition finishes, consuming projections through
+:class:`~repro.pipeline.CircularBuffer` — the paper's "instant FDK"
+overlap of acquisition and reconstruction.
+
+The pieces:
+
+* :mod:`~repro.streaming.chunks` — chunk planning and the working-set
+  budget arithmetic (:func:`plan_chunks`, :func:`resolve_chunk_size`,
+  :func:`parse_byte_size`);
+* :mod:`~repro.streaming.sources` — the :class:`ProjectionChunkSource`
+  protocol and its three implementations (in-memory stack, PFS-backed
+  reader, online circular-buffer consumer);
+* :mod:`~repro.streaming.reconstructor` — the
+  :class:`StreamingReconstructor` executor, bit-identical to the
+  whole-stack path on every backend by construction.
+
+The same plan/Session/CLI seams drive it: set ``streaming: true`` (plus
+optional ``chunk_size`` / ``memory_budget_bytes``) on a
+:class:`~repro.api.ReconstructionPlan`, or pass ``--stream`` /
+``--chunk-size`` / ``--memory-budget`` to ``repro reconstruct``.
+"""
+
+from .chunks import (
+    DEFAULT_CHUNK_SIZE,
+    chunk_working_set_bytes,
+    parse_byte_size,
+    per_projection_working_set_bytes,
+    plan_chunks,
+    resolve_chunk_size,
+    whole_stack_working_set_bytes,
+)
+from .reconstructor import (
+    StreamingReconstructor,
+    StreamingResult,
+    reconstruct_streaming,
+)
+from .sources import (
+    OnlineChunkSource,
+    PFSChunkSource,
+    ProjectionChunk,
+    ProjectionChunkSource,
+    StackChunkSource,
+    StreamingError,
+    stream_stack,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "OnlineChunkSource",
+    "PFSChunkSource",
+    "ProjectionChunk",
+    "ProjectionChunkSource",
+    "StackChunkSource",
+    "StreamingError",
+    "StreamingReconstructor",
+    "StreamingResult",
+    "chunk_working_set_bytes",
+    "parse_byte_size",
+    "per_projection_working_set_bytes",
+    "plan_chunks",
+    "reconstruct_streaming",
+    "resolve_chunk_size",
+    "stream_stack",
+    "whole_stack_working_set_bytes",
+]

@@ -1,0 +1,216 @@
+"""Chunk planning for streaming reconstruction.
+
+The streaming pipeline replaces the whole-stack ``(Np, Nv, Nu)`` arrays of
+the filter→back-projection handoff with bounded *chunks* of consecutive
+projections.  This module owns the arithmetic of that decomposition:
+
+* :func:`plan_chunks` — the exact partition of ``range(Np)`` into
+  consecutive ``[start, stop)`` windows (full coverage, no overlap, order
+  preserved — the invariants the Hypothesis suite pins);
+* :func:`chunk_working_set_bytes` — a deliberate *over*-estimate of the
+  transient memory one chunk pushes through the shared filtering driver
+  (mirroring the ``blocked`` backend's ``_block_bytes`` discipline: the
+  estimate must bound reality, not flatter it);
+* :func:`resolve_chunk_size` — turn an explicit ``chunk_size`` and/or a
+  ``memory_budget_bytes`` into the chunk size actually executed, raising a
+  clear :class:`ValueError` when the budget cannot fit even one projection
+  instead of thrashing.
+
+The budget bounds the **streaming working set**: the per-chunk buffers the
+filter stage materializes (raw rows, weighted products, FFT spectra and
+their inverse transforms, the filtered output).  It deliberately excludes
+the output volume and the back-projection tile temporaries — those are
+bounded separately (the volume is the irreducible output; tiles by the
+backend's own ``byte_budget``) and exist identically in the whole-stack
+path, so including them would make every budget comparison a tautology.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.geometry import CBCTGeometry
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_working_set_bytes",
+    "parse_byte_size",
+    "per_projection_working_set_bytes",
+    "plan_chunks",
+    "resolve_chunk_size",
+    "whole_stack_working_set_bytes",
+]
+
+#: Chunk size when neither ``chunk_size`` nor a budget is given: small
+#: enough that streaming is genuinely incremental, large enough that the
+#: per-chunk FFT setup amortizes.
+DEFAULT_CHUNK_SIZE = 16
+
+
+def plan_chunks(num_projections: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Partition ``range(num_projections)`` into consecutive chunks.
+
+    Returns ``[(start, stop), ...]`` with ``stop - start <= chunk_size``;
+    the windows cover every index exactly once, never overlap, and are
+    ordered — the properties that make chunked accumulation bit-identical
+    to the whole-stack sum.
+    """
+    if isinstance(num_projections, bool) or not isinstance(num_projections, int):
+        raise ValueError(
+            f"num_projections must be an integer, got {num_projections!r}"
+        )
+    if num_projections < 1:
+        raise ValueError(
+            f"num_projections must be positive, got {num_projections}"
+        )
+    if isinstance(chunk_size, bool) or not isinstance(chunk_size, int):
+        raise ValueError(f"chunk_size must be an integer, got {chunk_size!r}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, num_projections))
+        for start in range(0, num_projections, chunk_size)
+    ]
+
+
+def _fft_pad(nu: int) -> int:
+    """FFT length of the ramp filter: next power of two >= ``2 * nu``."""
+    return 1 << int(np.ceil(np.log2(max(2 * nu, 2))))
+
+
+def per_projection_working_set_bytes(geometry: CBCTGeometry) -> int:
+    """Transient bytes one projection needs in the filtering pipeline.
+
+    Counts every intermediate the shared :meth:`ComputeBackend.filter_stack`
+    driver materializes per ``(Nv, Nu)`` projection, over-estimating on the
+    safe side:
+
+    * the raw float32 rows and the cosine-weighted product (2 x 4 bytes);
+    * the float64 redundancy-weighted intermediate (8 bytes — charged even
+      for ideal scans so a scenario can never blow a validated budget);
+    * the complex128 FFT spectrum of the zero-padded rows (NumPy transforms
+      in double precision regardless of input dtype);
+    * the float64 inverse transform over the padded length;
+    * the filtered float32 output rows.
+    """
+    nv, nu = int(geometry.nv), int(geometry.nu)
+    pad = _fft_pad(nu)
+    row_bytes = nv * nu * (4 + 4 + 8 + 4)  # raw + weighted + f64 + filtered
+    spectrum_bytes = nv * (pad // 2 + 1) * 16  # complex128 rfft bins
+    inverse_bytes = nv * pad * 8  # float64 irfft over the padded length
+    return row_bytes + spectrum_bytes + inverse_bytes
+
+
+def chunk_working_set_bytes(geometry: CBCTGeometry, chunk_size: int) -> int:
+    """Streaming working set of one chunk of ``chunk_size`` projections."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return int(chunk_size) * per_projection_working_set_bytes(geometry)
+
+
+def whole_stack_working_set_bytes(
+    geometry: CBCTGeometry, num_projections: Optional[int] = None
+) -> int:
+    """Working set of the non-streaming path: every projection at once."""
+    np_ = geometry.np_ if num_projections is None else int(num_projections)
+    return chunk_working_set_bytes(geometry, np_)
+
+
+def resolve_chunk_size(
+    geometry: CBCTGeometry,
+    num_projections: int,
+    *,
+    chunk_size: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> int:
+    """The chunk size a streaming run actually executes.
+
+    * neither given — :data:`DEFAULT_CHUNK_SIZE` (capped at the stack);
+    * ``chunk_size`` only — used as-is (capped at the stack);
+    * budget only — the largest chunk whose working set fits the budget;
+    * both — the explicit chunk size, rejected if its working set exceeds
+      the budget (an impossible request must fail, not silently shrink).
+
+    A budget too small for even a single projection raises
+    :class:`ValueError` naming the minimum feasible budget.
+    """
+    if num_projections < 1:
+        raise ValueError(
+            f"num_projections must be positive, got {num_projections}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if memory_budget_bytes is not None and memory_budget_bytes < 1:
+        raise ValueError(
+            f"memory_budget_bytes must be positive, got {memory_budget_bytes}"
+        )
+    if memory_budget_bytes is None:
+        if chunk_size is None:
+            return min(DEFAULT_CHUNK_SIZE, num_projections)
+        return min(int(chunk_size), num_projections)
+    per = per_projection_working_set_bytes(geometry)
+    largest_fitting = int(memory_budget_bytes) // per
+    if largest_fitting < 1:
+        raise ValueError(
+            f"memory_budget_bytes={memory_budget_bytes} cannot stream even "
+            f"one {geometry.nv}x{geometry.nu} projection through the filter "
+            f"pipeline (working set ~{per} bytes/projection); raise the "
+            f"budget to at least {per} bytes"
+        )
+    if chunk_size is not None:
+        chunk_size = min(int(chunk_size), num_projections)
+        if chunk_size > largest_fitting:
+            raise ValueError(
+                f"chunk_size={chunk_size} needs a working set of "
+                f"~{chunk_working_set_bytes(geometry, chunk_size)} bytes, "
+                f"exceeding memory_budget_bytes={memory_budget_bytes}; the "
+                f"largest chunk that fits is {largest_fitting}"
+            )
+        return chunk_size
+    return min(largest_fitting, num_projections)
+
+
+_BYTE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": 1 << 10, "kb": 1 << 10, "kib": 1 << 10,
+    "m": 1 << 20, "mb": 1 << 20, "mib": 1 << 20,
+    "g": 1 << 30, "gb": 1 << 30, "gib": 1 << 30,
+}
+
+
+def parse_byte_size(text) -> int:
+    """Parse a byte count like ``268435456``, ``256MiB`` or ``1.5G``.
+
+    Suffixes are binary (``k``/``M``/``G`` and their ``iB``/``B`` forms,
+    case-insensitive).  The result must be a positive whole number of
+    bytes; anything else raises :class:`ValueError` (the CLI exit-2 path).
+    """
+    if isinstance(text, bool):
+        raise ValueError(f"byte size must be a number, got {text!r}")
+    if isinstance(text, (int, float)):
+        text = str(text)
+    match = re.fullmatch(
+        r"\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*", str(text)
+    )
+    if not match:
+        raise ValueError(
+            f"cannot parse byte size {text!r} (expected e.g. 268435456, "
+            "64MiB, 1.5G)"
+        )
+    number, suffix = match.groups()
+    factor = _BYTE_SUFFIXES.get(suffix.lower())
+    if factor is None:
+        raise ValueError(
+            f"unknown byte-size suffix {suffix!r} in {text!r} "
+            "(expected k/M/G, kB/MB/GB or kiB/MiB/GiB)"
+        )
+    value = float(number) * factor
+    if value <= 0 or value != int(value):
+        raise ValueError(
+            f"byte size {text!r} must be a positive whole number of bytes"
+        )
+    return int(value)

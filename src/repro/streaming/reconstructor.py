@@ -1,0 +1,318 @@
+"""The streaming FDK executor: chunked filter→back-project pipelining.
+
+:class:`StreamingReconstructor` is the chunked counterpart of
+:class:`~repro.core.fdk.FDKReconstructor`: instead of filtering the whole
+``(Np, Nv, Nu)`` stack and then back-projecting it, it pulls bounded
+chunks from a :class:`~repro.streaming.ProjectionChunkSource`, filters
+each through the *same* shared driver (:meth:`ComputeBackend.filter_stack`
+with the scenario's redundancy rows sliced to the chunk) and folds it into
+one persistent :class:`~repro.backends.base.VolumeAccumulator` before the
+next chunk is even read.
+
+Bit-identity is the design invariant, not an accident:
+
+* every filtering table (cosine weights, ramp response, FDK scale) depends
+  only on the geometry, and the per-row FFT convolution is independent of
+  how rows are batched — so a chunk's filtered rows equal the same rows of
+  the whole-stack filtering bit-for-bit;
+* the scenario redundancy table is ``(Np, Nu)`` and slices cleanly to each
+  chunk's global projection window;
+* back-projection is a sum over projections, and chunks are accumulated in
+  acquisition order through one accumulator — the floating-point
+  accumulation order is *exactly* the whole-stack order, on every backend
+  (``parallel`` included: its shards accumulate each tile in sequential
+  stack order per dispatch).
+
+``tests/test_streaming.py`` pins that invariant across the full
+backend × scenario × dtype × chunk-size matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..backends.base import ComputeBackend
+from ..core.filtering import RAMP_FILTERS
+from ..core.geometry import CBCTGeometry
+from ..core.types import ProjectionStack, Volume
+from ..obs import NULL_METRICS, MetricsRegistry, get_tracer, peak_rss_bytes
+from .chunks import (
+    chunk_working_set_bytes,
+    plan_chunks,
+    resolve_chunk_size,
+)
+from .sources import ProjectionChunkSource, StackChunkSource, StreamingError
+
+__all__ = ["StreamingReconstructor", "StreamingResult", "reconstruct_streaming"]
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of one streaming reconstruction, with chunk accounting."""
+
+    volume: Volume
+    num_projections: int
+    chunk_size: int
+    chunk_count: int
+    filter_seconds: float
+    backprojection_seconds: float
+    #: Over-estimated streaming working set of one executed chunk.
+    working_set_bytes: int
+    #: The budget the run was planned under (``None`` = unconstrained).
+    memory_budget_bytes: Optional[int]
+    #: Process-lifetime peak RSS sampled after the last chunk.
+    peak_rss_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.filter_seconds + self.backprojection_seconds
+
+
+class StreamingReconstructor:
+    """Chunked FDK reconstruction under an explicit memory budget.
+
+    Parameters mirror :class:`~repro.core.fdk.FDKReconstructor` (geometry,
+    ramp filter, algorithm, backend, scenario, workers) plus the streaming
+    knobs:
+
+    chunk_size:
+        Projections per chunk (``None`` derives it from the budget, or
+        falls back to :data:`~repro.streaming.DEFAULT_CHUNK_SIZE`).
+    memory_budget_bytes:
+        Upper bound on the streaming working set (see
+        :func:`~repro.streaming.chunk_working_set_bytes` for exactly what
+        is counted).  Chunk planning never exceeds it; an infeasible
+        combination raises :class:`ValueError` up front.
+    backend:
+        A backend *name* (resolved through the registry, with ``workers``
+        sizing a dedicated pool exactly as on ``FDKReconstructor``) or a
+        live :class:`ComputeBackend` instance (used as-is; ``workers``
+        must then be ``None``).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving the
+        ``streaming.chunks`` counter and ``streaming.peak_rss_bytes``
+        gauge; defaults to the process-wide no-op registry.
+    """
+
+    def __init__(
+        self,
+        geometry: CBCTGeometry,
+        *,
+        ramp_filter: str = "ram-lak",
+        algorithm: str = "proposed",
+        use_symmetry: bool = True,
+        backend: Union[str, ComputeBackend] = "reference",
+        scenario: Optional[object] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if ramp_filter not in RAMP_FILTERS:
+            raise ValueError(
+                f"unknown ramp filter {ramp_filter!r}; valid: {RAMP_FILTERS}"
+            )
+        if algorithm not in ("proposed", "standard"):
+            raise ValueError("algorithm must be 'proposed' or 'standard'")
+        self.geometry = geometry
+        self.ramp_filter = ramp_filter
+        self.algorithm = algorithm
+        self.use_symmetry = use_symmetry
+        self.chunk_size = chunk_size
+        self.memory_budget_bytes = memory_budget_bytes
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        if isinstance(backend, ComputeBackend):
+            if workers is not None:
+                raise ValueError(
+                    "workers only applies when the backend is given by name; "
+                    "size the backend instance directly instead"
+                )
+            self._backend = backend
+            self._owns_backend = False
+        else:
+            from ..backends import resolve_backend  # late: backends import core
+
+            self._backend = resolve_backend(backend, workers=workers)
+            self._owns_backend = workers is not None
+        if scenario is None:
+            self.scenario = None
+            self._redundancy = None
+        else:
+            from ..scenarios import get_scenario  # late: scenarios import core
+
+            self.scenario = get_scenario(scenario)
+            self._redundancy = self.scenario.redundancy_weights(self.geometry)
+        # Fail on an infeasible chunk/budget combination at construction,
+        # before any source is opened or accumulator allocated.
+        resolve_chunk_size(
+            geometry, geometry.np_,
+            chunk_size=chunk_size, memory_budget_bytes=memory_budget_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_plan(
+        cls, plan, *, metrics: Optional[MetricsRegistry] = None
+    ) -> "StreamingReconstructor":
+        """The streaming executor a ``streaming: true`` plan describes."""
+        scenario = plan.resolved_scenario()
+        return cls(
+            geometry=plan.scenario_geometry(),
+            ramp_filter=plan.ramp_filter,
+            algorithm=plan.algorithm,
+            backend=plan.backend,
+            scenario=None if scenario.is_ideal else scenario,
+            workers=plan.workers,
+            chunk_size=plan.chunk_size,
+            memory_budget_bytes=plan.memory_budget_bytes,
+            metrics=metrics,
+        )
+
+    def close(self) -> None:
+        """Join the worker pool of a dedicated ``parallel`` backend."""
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "StreamingReconstructor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    def reconstruct(self, source: ProjectionChunkSource) -> StreamingResult:
+        """Stream every chunk of ``source`` into one reconstructed volume.
+
+        The source must deliver exactly the acquisition the geometry
+        describes; any shortfall, reordering beyond the source's window or
+        bound mismatch raises (:class:`StreamingError` /
+        :class:`TimeoutError`) — a partial volume is never returned.
+        """
+        np_total = int(source.num_projections)
+        if np_total != self.geometry.np_:
+            raise ValueError(
+                f"source promises {np_total} projections but the geometry "
+                f"acquires {self.geometry.np_}"
+            )
+        chunk = resolve_chunk_size(
+            self.geometry, np_total,
+            chunk_size=self.chunk_size,
+            memory_budget_bytes=self.memory_budget_bytes,
+        )
+        bounds = plan_chunks(np_total, chunk)
+        tracer = get_tracer()
+        acc = self._backend.accumulator(
+            self.geometry,
+            algorithm=self.algorithm,
+            use_symmetry=self.use_symmetry,
+        )
+        add_stack = getattr(acc, "add_stack", None)
+        chunk_counter = self.metrics.counter("streaming.chunks")
+        filter_seconds = 0.0
+        backproject_seconds = 0.0
+        delivered = 0
+        for index, piece in enumerate(source.chunks(bounds)):
+            if index >= len(bounds) or (piece.start, piece.stop) != bounds[index]:
+                raise StreamingError(
+                    f"source yielded chunk [{piece.start}, {piece.stop}) "
+                    f"where the plan expected "
+                    f"{bounds[index] if index < len(bounds) else 'no chunk'}"
+                )
+            stack = piece.stack
+            if stack.nu != self.geometry.nu or stack.nv != self.geometry.nv:
+                raise ValueError(
+                    f"chunk projections ({stack.nv}x{stack.nu}) do not match "
+                    f"the detector ({self.geometry.nv}x{self.geometry.nu})"
+                )
+            t0 = time.perf_counter()
+            if stack.filtered:
+                if self._redundancy is not None:
+                    raise ValueError(
+                        f"scenario {self.scenario.name!r} applies redundancy "
+                        "weights in the filtering stage, but this source "
+                        "delivers pre-filtered projections"
+                    )
+                filtered = stack
+            else:
+                redundancy = (
+                    None if self._redundancy is None
+                    else self._redundancy[piece.start:piece.stop]
+                )
+                with tracer.span(
+                    "filter.chunk",
+                    payload_bytes=int(stack.data.nbytes),
+                    chunk=index,
+                    start=piece.start,
+                    stop=piece.stop,
+                ):
+                    filtered = self._backend.filter_stack(
+                        stack, self.geometry, self.ramp_filter,
+                        redundancy=redundancy,
+                    )
+            t1 = time.perf_counter()
+            with tracer.span(
+                "backproject.chunk",
+                payload_bytes=int(filtered.data.nbytes),
+                chunk=index,
+                start=piece.start,
+                stop=piece.stop,
+            ):
+                if add_stack is not None:
+                    add_stack(filtered)
+                else:
+                    for angle, projection in filtered:
+                        acc.add(projection, angle)
+            backproject_seconds += time.perf_counter() - t1
+            filter_seconds += t1 - t0
+            delivered += piece.size
+            chunk_counter.inc()
+        if delivered != np_total:
+            raise StreamingError(
+                f"source delivered {delivered} of {np_total} projections — "
+                "refusing to return a partial volume"
+            )
+        volume = acc.volume()
+        rss = peak_rss_bytes()
+        self.metrics.gauge("streaming.peak_rss_bytes").set(rss)
+        return StreamingResult(
+            volume=volume,
+            num_projections=np_total,
+            chunk_size=chunk,
+            chunk_count=len(bounds),
+            filter_seconds=filter_seconds,
+            backprojection_seconds=backproject_seconds,
+            working_set_bytes=chunk_working_set_bytes(self.geometry, chunk),
+            memory_budget_bytes=self.memory_budget_bytes,
+            peak_rss_bytes=rss,
+        )
+
+
+def reconstruct_streaming(
+    source: Union[ProjectionChunkSource, ProjectionStack],
+    geometry: CBCTGeometry,
+    *,
+    ramp_filter: str = "ram-lak",
+    algorithm: str = "proposed",
+    backend: Union[str, ComputeBackend] = "reference",
+    scenario: Optional[object] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> StreamingResult:
+    """One-call streaming reconstruction (a bare stack is wrapped)."""
+    if isinstance(source, ProjectionStack):
+        source = StackChunkSource(source)
+    with StreamingReconstructor(
+        geometry,
+        ramp_filter=ramp_filter,
+        algorithm=algorithm,
+        backend=backend,
+        scenario=scenario,
+        workers=workers,
+        chunk_size=chunk_size,
+        memory_budget_bytes=memory_budget_bytes,
+    ) as reconstructor:
+        return reconstructor.reconstruct(source)

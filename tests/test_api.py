@@ -47,7 +47,7 @@ GOLDEN_PLAN = Path(__file__).parent / "data" / "golden_plan.json"
 #: must be stable across processes, machines and Python versions: if this
 #: test fails, the plan hashing scheme changed and every persisted plan
 #: key (service cache identities, job records) silently rotated.
-GOLDEN_PLAN_KEY = "107bb2367236ee55"
+GOLDEN_PLAN_KEY = "746888f1dbe10ecb"
 GOLDEN_PLAN_FILTER_KEY = "bd5d11dd272ac233"
 
 
@@ -91,6 +91,9 @@ class TestPlanSerialization:
             base.with_updates(workers=4),
             base.with_updates(target="service"),
             base.with_updates(priority=0),
+            base.with_updates(streaming=True),
+            base.with_updates(streaming=True, chunk_size=4),
+            base.with_updates(streaming=True, memory_budget_bytes=1 << 26),
             base.with_updates(geometry=default_geometry_for_problem(
                 nu=48, nv=48, np_=24, nx=32, ny=32, nz=16)),
         ]
@@ -172,6 +175,11 @@ def plans():
             st.floats(min_value=0.1, max_value=1e6,
                       allow_nan=False, allow_infinity=False),
         ),
+        streaming=st.booleans(),
+        chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+        memory_budget_bytes=st.one_of(
+            st.none(), st.integers(min_value=1 << 20, max_value=1 << 34)
+        ),
     )
 
 
@@ -200,6 +208,8 @@ class TestPlanProperties:
             plan.with_updates(target="fdk", rows=None, columns=None),
             plan.with_updates(algorithm="standard"),
             plan.with_updates(priority=0, tenant="other", slo_seconds=None),
+            plan.with_updates(streaming=True, chunk_size=8,
+                              memory_budget_bytes=1 << 28),
         ]
         assert {p.filter_key() for p in same} == {plan.filter_key()}
 
@@ -510,6 +520,50 @@ class TestQoSFieldScoping:
     def test_qos_on_service_target_accepted(self):
         small_plan(target="service", slo_seconds=45.0, cluster_gpus=8,
                    priority=0, tenant="x").validate()
+
+
+class TestStreamingFieldScoping:
+    """Streaming fields are fdk-only execution knobs: valid combinations
+    validate, impossible or off-target ones are loud ValueErrors."""
+
+    def test_streaming_fdk_plan_validates(self):
+        small_plan(streaming=True).validate()
+        small_plan(streaming=True, chunk_size=4).validate()
+        small_plan(streaming=True, memory_budget_bytes=1 << 26).validate()
+
+    @pytest.mark.parametrize("fields, match", [
+        (dict(streaming=True, target="service", cluster_gpus=8),
+         "only wired for the fdk target"),
+        (dict(streaming=True, target="ifdk", rows=2, columns=2),
+         "only wired for the fdk target"),
+        (dict(chunk_size=4), "streaming"),
+        (dict(memory_budget_bytes=1 << 26), "streaming"),
+        (dict(streaming=True, chunk_size=0), "positive"),
+        (dict(streaming=True, memory_budget_bytes=-1), "positive"),
+        (dict(streaming=True, memory_budget_bytes=16), "cannot stream"),
+    ])
+    def test_invalid_streaming_plans_rejected(self, fields, match):
+        with pytest.raises(ValueError, match=match):
+            small_plan(**fields).validate()
+
+    def test_streaming_must_be_boolean(self):
+        payload = small_plan().to_dict()
+        payload["streaming"] = 1
+        with pytest.raises(ValueError, match="streaming.*boolean"):
+            ReconstructionPlan.from_dict(payload)
+
+    def test_streaming_budget_exceeded_by_chunk_rejected(self):
+        from repro.streaming import per_projection_working_set_bytes
+
+        plan = small_plan(streaming=True, chunk_size=16)
+        budget = 2 * per_projection_working_set_bytes(plan.geometry)
+        with pytest.raises(ValueError, match="largest chunk that fits"):
+            plan.with_updates(memory_budget_bytes=budget).validate()
+
+    def test_streaming_fields_reach_describe(self):
+        summary = small_plan(streaming=True, chunk_size=4).describe()
+        assert summary["streaming"] is True
+        assert summary["chunk_size"] == 4
 
 
 class TestNonFiniteRejection:

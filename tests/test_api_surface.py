@@ -30,6 +30,7 @@ REPRO_EXPORTS = [
     "pipeline",
     "scenarios",
     "service",
+    "streaming",
 ]
 
 #: The declarative plan layer's complete public surface.
@@ -80,15 +81,18 @@ def test_plan_field_schema_is_pinned():
     assert fields == [
         "algorithm",
         "backend",
+        "chunk_size",
         "cluster_gpus",
         "columns",
         "dtype",
         "geometry",
+        "memory_budget_bytes",
         "priority",
         "ramp_filter",
         "rows",
         "scenario",
         "slo_seconds",
+        "streaming",
         "target",
         "tenant",
         "workers",

@@ -1,0 +1,764 @@
+"""The streaming-equivalence harness (``repro.streaming``).
+
+The streaming pipeline's contract is stronger than "close enough": because
+every filtering table is geometry-only, the per-row FFT is batch-invariant
+and one accumulator consumes chunks in acquisition order, chunked execution
+must be **bit-identical** to the whole-stack path — per backend, per
+scenario, per input dtype, at every chunk size.  This module pins that
+contract and the machinery around it:
+
+* the equivalence matrix (backend × scenario × dtype × chunk size), plus
+  golden 32³ hash agreement with the pinned reference volume;
+* Hypothesis property tests for chunk planning (exact partition of
+  ``range(Np)``; the working-set estimate never exceeds the budget; an
+  infeasible budget is a loud :class:`ValueError`);
+* online-source fault injection: out-of-order completion inside the
+  reorder window reconstructs bit-identically, everything past the
+  window — stalls, early close, duplicates, overflow — fails loudly
+  (never a silent partial volume), with circular-buffer wraparound
+  covered at ``capacity == chunk_size``;
+* the memory-bound slow-tier test: a 256³ volume from a PFS-backed source
+  under a budget the whole-stack path provably exceeds, with subprocess
+  peak RSS within 1.5× of the budget;
+* the CLI error paths (``--stream`` with bad knobs → exit 2) and the
+  plan/Session/service/observability seams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ReconstructionPlan, Session, plan_for_problem, run_plan
+from repro.backends import available_backends, get_backend
+from repro.cli import main
+from repro.core import default_geometry_for_problem
+from repro.core.types import ProjectionStack
+from repro.obs import MetricsRegistry, Tracer, use_tracer
+from repro.pfs import SimulatedPFS
+from repro.pfs.projection_io import write_projection_dataset
+from repro.pipeline import CircularBuffer
+from repro.scenarios import get_scenario
+from repro.service import ReconstructionService
+from repro.service.dispatch import BatchedDispatcher
+from repro.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    OnlineChunkSource,
+    PFSChunkSource,
+    StackChunkSource,
+    StreamingError,
+    StreamingReconstructor,
+    chunk_working_set_bytes,
+    parse_byte_size,
+    per_projection_working_set_bytes,
+    plan_chunks,
+    reconstruct_streaming,
+    resolve_chunk_size,
+    stream_stack,
+    whole_stack_working_set_bytes,
+)
+
+pytestmark = pytest.mark.streaming
+
+#: Conformance bound of every backend against the reference volume.
+RMSE_TOL = 1e-5
+
+#: The equivalence-matrix geometry: small, anisotropic, even+odd divisors.
+BASE = default_geometry_for_problem(nu=32, nv=24, np_=24, nx=16, ny=16, nz=12)
+
+SCENARIOS = ("full_scan", "short_scan", "sparse_view")
+DTYPES = ("float32", "float64")
+#: chunk_size=None runs one whole-stack-sized chunk (resolve caps at Np).
+CHUNK_SIZES = (1, 7, None)
+
+
+def scenario_case(scenario: str, dtype: str):
+    """(geometry, stack, redundancy) of one scenario × dtype matrix cell."""
+    preset = get_scenario(scenario)
+    geometry = BASE if preset.is_ideal else preset.apply_geometry(BASE)
+    rng = np.random.default_rng(20260808)
+    data = rng.standard_normal(
+        (geometry.np_, geometry.nv, geometry.nu)
+    ).astype(dtype)
+    stack = ProjectionStack(data=data, angles=geometry.angles, filtered=False)
+    redundancy = None if preset.is_ideal else preset.redundancy_weights(geometry)
+    return geometry, stack, redundancy
+
+
+@pytest.fixture(scope="module")
+def whole_stack_volumes():
+    """Whole-stack reference results, computed once per matrix cell."""
+    cache = {}
+
+    def compute(backend: str, scenario: str, dtype: str) -> np.ndarray:
+        key = (backend, scenario, dtype)
+        if key not in cache:
+            geometry, stack, redundancy = scenario_case(scenario, dtype)
+            cache[key] = get_backend(backend).reconstruct(
+                stack, geometry, algorithm="proposed", redundancy=redundancy
+            ).data
+        return cache[key]
+
+    return compute
+
+
+def rel_rmse(result: np.ndarray, reference: np.ndarray) -> float:
+    scale = float(np.abs(reference).max()) or 1.0
+    return float(
+        np.sqrt(np.mean((result.astype(np.float64) - reference) ** 2))
+    ) / scale
+
+
+# --------------------------------------------------------------------------- #
+# The equivalence matrix (the tentpole's proof obligation)
+# --------------------------------------------------------------------------- #
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_streaming_is_bit_identical_to_whole_stack(
+        self, backend, scenario, dtype, chunk_size, whole_stack_volumes
+    ):
+        geometry, stack, _ = scenario_case(scenario, dtype)
+        result = reconstruct_streaming(
+            stack, geometry,
+            backend=get_backend(backend),
+            scenario=None if scenario == "full_scan" else scenario,
+            chunk_size=chunk_size,
+        )
+        whole = whole_stack_volumes(backend, scenario, dtype)
+        # Bit-identity holds for every backend (reference included): the
+        # chunk decomposition changes no arithmetic and no order.
+        np.testing.assert_array_equal(result.volume.data, whole)
+        # And every backend's streaming output stays inside the cross-
+        # backend conformance bound against the reference volume.
+        reference = whole_stack_volumes("reference", scenario, dtype)
+        assert rel_rmse(result.volume.data, reference) <= RMSE_TOL
+        expected_chunk = resolve_chunk_size(
+            geometry, geometry.np_, chunk_size=chunk_size
+        )
+        assert result.chunk_size == expected_chunk
+        assert result.chunk_count == len(plan_chunks(geometry.np_, expected_chunk))
+        assert result.num_projections == geometry.np_
+
+    def test_pfs_source_matches_in_memory_source(self):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, stack)
+        via_pfs = reconstruct_streaming(
+            PFSChunkSource(pfs), geometry, backend="vectorized", chunk_size=7
+        )
+        in_memory = reconstruct_streaming(
+            stack, geometry, backend="vectorized", chunk_size=7
+        )
+        np.testing.assert_array_equal(
+            via_pfs.volume.data, in_memory.volume.data
+        )
+
+    def test_prefiltered_stack_skips_filtering(self, small_geometry, small_filtered):
+        streamed = reconstruct_streaming(
+            small_filtered, small_geometry, backend="vectorized", chunk_size=5
+        )
+        whole = get_backend("vectorized").backproject(
+            small_filtered, small_geometry, algorithm="proposed"
+        )
+        np.testing.assert_array_equal(streamed.volume.data, whole.data)
+        assert streamed.filter_seconds == 0.0 or streamed.filter_seconds < 1e-3
+
+    def test_prefiltered_stack_with_redundancy_scenario_rejected(
+        self, small_geometry, small_filtered
+    ):
+        scenario = get_scenario("short_scan")
+        geometry = scenario.apply_geometry(small_geometry)
+        filtered = ProjectionStack(
+            data=small_filtered.data[: geometry.np_],
+            angles=geometry.angles,
+            filtered=True,
+        )
+        with pytest.raises(ValueError, match="pre-filtered"):
+            reconstruct_streaming(
+                filtered, geometry, scenario="short_scan", chunk_size=5
+            )
+
+    def test_source_projection_count_must_match_geometry(self, small_geometry):
+        short = ProjectionStack(
+            data=np.zeros(
+                (4, small_geometry.nv, small_geometry.nu), dtype=np.float32
+            ),
+            angles=small_geometry.angles[:4],
+        )
+        with pytest.raises(ValueError, match="promises 4"):
+            reconstruct_streaming(short, small_geometry)
+
+    def test_golden_volume_agreement(self):
+        """Streaming the golden acquisition reproduces the pinned 32³ hash."""
+        import test_golden_fdk as golden_mod
+
+        stem = golden_mod.FAMILIES["full"]
+        golden = np.load(golden_mod.DATA_DIR / f"{stem}.npz")["volume"]
+        meta = json.loads(
+            (golden_mod.DATA_DIR / f"{stem}.json").read_text()
+        )
+        result = reconstruct_streaming(
+            golden_mod.golden_stack(), golden_mod.golden_geometry(),
+            backend="reference", chunk_size=5,
+        )
+        if golden_mod._environment_matches(meta):
+            digest = hashlib.sha256(result.volume.data.tobytes()).hexdigest()
+            assert digest == meta["sha256"]
+        else:
+            assert rel_rmse(result.volume.data, golden) <= golden_mod.DRIFT_RMSE_TOL
+
+
+# --------------------------------------------------------------------------- #
+# Chunk planning: Hypothesis properties
+# --------------------------------------------------------------------------- #
+PLAN_GEOMETRY = default_geometry_for_problem(
+    nu=48, nv=48, np_=24, nx=32, ny=32, nz=32
+)
+PER_PROJECTION = per_projection_working_set_bytes(PLAN_GEOMETRY)
+
+
+class TestChunkPlanning:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        num_projections=st.integers(min_value=1, max_value=500),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    def test_chunks_partition_the_acquisition_exactly(
+        self, num_projections, chunk_size
+    ):
+        bounds = plan_chunks(num_projections, chunk_size)
+        # Full coverage, no overlap, order preserved: concatenating the
+        # windows reproduces range(Np) exactly.
+        flattened = [
+            i for start, stop in bounds for i in range(start, stop)
+        ]
+        assert flattened == list(range(num_projections))
+        assert all(stop - start <= chunk_size for start, stop in bounds)
+        assert all(stop > start for start, stop in bounds)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        num_projections=st.integers(min_value=1, max_value=500),
+        budget_projections=st.floats(min_value=1.0, max_value=64.0),
+    )
+    def test_resolved_working_set_never_exceeds_budget(
+        self, num_projections, budget_projections
+    ):
+        budget = int(budget_projections * PER_PROJECTION)
+        chunk = resolve_chunk_size(
+            PLAN_GEOMETRY, num_projections, memory_budget_bytes=budget
+        )
+        assert 1 <= chunk <= num_projections
+        assert chunk_working_set_bytes(PLAN_GEOMETRY, chunk) <= budget
+
+    @settings(max_examples=100, deadline=None)
+    @given(budget=st.integers(min_value=1))
+    def test_too_small_budget_raises_not_thrashes(self, budget):
+        budget = budget % PER_PROJECTION  # always below one projection
+        if budget == 0:
+            budget = 1
+        with pytest.raises(ValueError, match="raise the budget to at least"):
+            resolve_chunk_size(
+                PLAN_GEOMETRY, 24, memory_budget_bytes=budget
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        chunk_size=st.integers(min_value=2, max_value=64),
+        headroom=st.floats(min_value=1.0, max_value=1.999),
+    )
+    def test_explicit_chunk_over_budget_is_rejected_not_shrunk(
+        self, chunk_size, headroom
+    ):
+        budget = int(headroom * PER_PROJECTION)  # fits 1, never chunk_size
+        with pytest.raises(ValueError, match="largest chunk that fits"):
+            resolve_chunk_size(
+                PLAN_GEOMETRY, 500,
+                chunk_size=chunk_size, memory_budget_bytes=budget,
+            )
+
+    def test_defaults_and_caps(self):
+        assert resolve_chunk_size(PLAN_GEOMETRY, 100) == DEFAULT_CHUNK_SIZE
+        assert resolve_chunk_size(PLAN_GEOMETRY, 5) == 5
+        assert resolve_chunk_size(PLAN_GEOMETRY, 100, chunk_size=7) == 7
+        budget = 3 * PER_PROJECTION
+        assert resolve_chunk_size(
+            PLAN_GEOMETRY, 100, memory_budget_bytes=budget
+        ) == 3
+        assert resolve_chunk_size(
+            PLAN_GEOMETRY, 2, memory_budget_bytes=budget
+        ) == 2
+
+    def test_whole_stack_estimate_scales_with_projections(self):
+        assert whole_stack_working_set_bytes(PLAN_GEOMETRY, 24) == (
+            24 * PER_PROJECTION
+        )
+        assert whole_stack_working_set_bytes(PLAN_GEOMETRY) == (
+            PLAN_GEOMETRY.np_ * PER_PROJECTION
+        )
+
+    @pytest.mark.parametrize("text, expected", [
+        ("268435456", 268435456),
+        ("64MiB", 64 << 20),
+        ("64mb", 64 << 20),
+        ("1.5G", 3 << 29),
+        ("2k", 2048),
+        ("512B", 512),
+    ])
+    def test_parse_byte_size(self, text, expected):
+        assert parse_byte_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["0", "0.0MiB", "12QB", "lots", ""])
+    def test_parse_byte_size_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_byte_size(text)
+
+
+# --------------------------------------------------------------------------- #
+# Online source: overlap with acquisition, loud fault semantics
+# --------------------------------------------------------------------------- #
+def online_reconstruct(stack, geometry, buffer, *, order=None, chunk_size=7,
+                       timeout=10.0, reorder_window=None):
+    """Reconstruct from a producer thread feeding the buffer."""
+    producer = threading.Thread(
+        target=stream_stack, args=(stack, buffer), kwargs={"order": order}
+    )
+    producer.start()
+    try:
+        source = OnlineChunkSource(
+            buffer, geometry.np_, timeout=timeout,
+            reorder_window=reorder_window,
+        )
+        return reconstruct_streaming(
+            source, geometry, backend="vectorized", chunk_size=chunk_size
+        )
+    finally:
+        buffer.close()
+        producer.join(timeout=10.0)
+        assert not producer.is_alive()
+
+
+class TestOnlineSource:
+    def test_wraparound_at_capacity_equals_chunk_size(self, whole_stack_volumes):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        buffer = CircularBuffer(capacity=7)
+        result = online_reconstruct(stack, geometry, buffer, chunk_size=7)
+        np.testing.assert_array_equal(
+            result.volume.data,
+            whole_stack_volumes("vectorized", "full_scan", "float32"),
+        )
+        # The producer really pushed the whole acquisition through a
+        # buffer of one chunk: it wrapped (Np/capacity times) and never
+        # held more than its capacity.
+        assert buffer.total_put == geometry.np_
+        assert buffer.high_watermark <= 7
+
+    def test_out_of_order_within_window_reconstructs_exactly(
+        self, whole_stack_volumes
+    ):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        order = list(range(geometry.np_))
+        for i in range(0, geometry.np_ - 1, 2):  # swap adjacent pairs
+            order[i], order[i + 1] = order[i + 1], order[i]
+        result = online_reconstruct(
+            stack, geometry, CircularBuffer(capacity=7), order=order
+        )
+        np.testing.assert_array_equal(
+            result.volume.data,
+            whole_stack_volumes("vectorized", "full_scan", "float32"),
+        )
+
+    def test_reordering_beyond_window_fails_loudly(self):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        with pytest.raises(StreamingError, match="reorder window"):
+            online_reconstruct(
+                stack, geometry, CircularBuffer(capacity=8),
+                order=list(reversed(range(geometry.np_))),
+                reorder_window=2,
+            )
+
+    def test_early_close_is_an_error_not_a_partial_volume(self):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        partial = ProjectionStack(
+            data=stack.data[:10], angles=stack.angles[:10]
+        )
+        with pytest.raises(StreamingError, match="refusing"):
+            online_reconstruct(partial, geometry, CircularBuffer(capacity=7))
+
+    def test_stalled_producer_times_out(self):
+        geometry, _, _ = scenario_case("full_scan", "float32")
+        source = OnlineChunkSource(
+            CircularBuffer(capacity=4), geometry.np_, timeout=0.05
+        )
+        with pytest.raises(TimeoutError):
+            reconstruct_streaming(source, geometry, chunk_size=4)
+
+    def test_duplicate_projection_index_fails_loudly(self):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        order = [0, 1, 2, 0] + list(range(3, geometry.np_))
+        with pytest.raises(StreamingError, match="arrived twice"):
+            online_reconstruct(
+                stack, geometry, CircularBuffer(capacity=7), order=order
+            )
+
+    def test_out_of_range_index_fails_loudly(self):
+        geometry, stack, _ = scenario_case("full_scan", "float32")
+        buffer = CircularBuffer(capacity=4)
+        buffer.put((geometry.np_ + 3, 0.0, stack.data[0]))
+        source = OnlineChunkSource(buffer, geometry.np_, timeout=1.0)
+        with pytest.raises(StreamingError, match="outside the promised"):
+            reconstruct_streaming(source, geometry, chunk_size=4)
+
+    def test_malformed_stream_item_fails_loudly(self):
+        geometry, _, _ = scenario_case("full_scan", "float32")
+        buffer = CircularBuffer(capacity=4)
+        buffer.put("not a triple")
+        source = OnlineChunkSource(buffer, geometry.np_, timeout=1.0)
+        with pytest.raises(StreamingError, match="malformed"):
+            reconstruct_streaming(source, geometry, chunk_size=4)
+
+
+# --------------------------------------------------------------------------- #
+# Memory-bound out-of-core reconstruction (slow tier)
+# --------------------------------------------------------------------------- #
+#: A child process reconstructs 256³ from an on-disk PFS dataset under the
+#: budget, reporting its own process-lifetime peak RSS.  Subprocess
+#: isolation is what makes the RSS measurement meaningful: ru_maxrss is a
+#: lifetime high-water mark, so the parent pytest process (which holds
+#: whole test fixtures) could never certify a bound.
+_MEMORY_BOUND_CHILD = """
+import json, sys
+import numpy as np
+from repro.core import default_geometry_for_problem
+from repro.pfs import SimulatedPFS
+from repro.pfs.projection_io import projection_object_name
+from repro.streaming import PFSChunkSource, reconstruct_streaming
+
+root, budget, chunk = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+geometry = default_geometry_for_problem(
+    nu=320, nv=320, np_=64, nx=256, ny=256, nz=256
+)
+pfs = SimulatedPFS(root_dir=root)
+pfs.write_array("projections/angles", geometry.angles)
+rng = np.random.default_rng(11)
+for index in range(geometry.np_):
+    pfs.write_array(
+        projection_object_name(index),
+        rng.standard_normal((geometry.nv, geometry.nu)).astype(np.float32),
+    )
+result = reconstruct_streaming(
+    PFSChunkSource(pfs), geometry, backend="blocked",
+    chunk_size=chunk, memory_budget_bytes=budget,
+)
+print(json.dumps({
+    "peak_rss_bytes": result.peak_rss_bytes,
+    "chunks": result.chunk_count,
+    "working_set_bytes": result.working_set_bytes,
+    "checksum": float(np.abs(result.volume.data).sum()),
+}))
+"""
+
+
+@pytest.mark.slow
+def test_256_cube_reconstruction_under_budget_whole_stack_cannot_meet(tmp_path):
+    geometry = default_geometry_for_problem(
+        nu=320, nv=320, np_=64, nx=256, ny=256, nz=256
+    )
+    budget = 224 << 20  # 224 MiB
+    chunk = 8
+    # The premise: the whole-stack filtering working set provably exceeds
+    # the budget, while the streamed chunk fits with room to spare.
+    assert whole_stack_working_set_bytes(geometry) > budget
+    assert chunk_working_set_bytes(geometry, chunk) <= budget
+    completed = subprocess.run(
+        [sys.executable, "-c", _MEMORY_BOUND_CHILD,
+         str(tmp_path / "pfs"), str(budget), str(chunk)],
+        capture_output=True, text=True, timeout=600,
+        cwd=str(Path(__file__).parent.parent),
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    report = json.loads(completed.stdout)
+    assert report["chunks"] == 8
+    assert report["checksum"] > 0  # a real volume came back
+    # The acceptance bound: the streaming process peaks within 1.5x of
+    # the budget, where the whole-stack path could not even hold its
+    # filtering intermediates.
+    assert report["peak_rss_bytes"] <= 1.5 * budget, (
+        f"peak RSS {report['peak_rss_bytes']} exceeded "
+        f"1.5 x budget ({budget})"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Plan / Session / service / CLI seams
+# --------------------------------------------------------------------------- #
+class TestStreamingSeams:
+    def test_session_routes_streaming_plans(
+        self, small_geometry, small_projections
+    ):
+        whole = run_plan(
+            ReconstructionPlan(geometry=small_geometry, backend="vectorized"),
+            small_projections,
+        )
+        streamed = run_plan(
+            ReconstructionPlan(
+                geometry=small_geometry, backend="vectorized",
+                streaming=True, chunk_size=7,
+            ),
+            small_projections,
+        )
+        np.testing.assert_array_equal(
+            streamed.volume.data, whole.volume.data
+        )
+        assert streamed.details["streaming"] is True
+        assert streamed.details["chunk_size"] == 7
+        assert streamed.details["chunks"] == 4  # 24 projections / 7
+        assert streamed.details["peak_rss_bytes"] > 0
+
+    def test_session_streaming_scenario_plan(
+        self, small_geometry, small_projections
+    ):
+        whole = run_plan(
+            ReconstructionPlan(
+                geometry=small_geometry, scenario="short_scan",
+                backend="blocked",
+            ),
+            small_projections,
+        )
+        streamed = run_plan(
+            ReconstructionPlan(
+                geometry=small_geometry, scenario="short_scan",
+                backend="blocked", streaming=True, chunk_size=5,
+            ),
+            small_projections,
+        )
+        np.testing.assert_array_equal(
+            streamed.volume.data, whole.volume.data
+        )
+
+    def test_streaming_session_emits_chunk_spans_and_metrics(
+        self, small_geometry, small_projections
+    ):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, streaming=True, chunk_size=6
+        )
+        tracer = Tracer()
+        with Session(plan, tracer=tracer) as session:
+            result = session.run(small_projections)
+        names = [span.name for span in tracer.spans()]
+        chunks = result.details["chunks"]
+        assert names.count("filter.chunk") == chunks
+        assert names.count("backproject.chunk") == chunks
+        obs = result.details["streaming_obs"]
+        assert obs["streaming.chunks"] == chunks
+        assert obs["streaming.peak_rss_bytes"] > 0
+        assert result.report is not None
+        # Chunk spans carry their global projection window.
+        starts = sorted(
+            span.attrs["start"] for span in tracer.spans()
+            if span.name == "filter.chunk"
+        )
+        assert starts == [0, 6, 12, 18]
+
+    def test_streaming_reconstructor_from_plan_matches_session(
+        self, small_geometry, small_projections
+    ):
+        plan = ReconstructionPlan(
+            geometry=small_geometry, backend="vectorized",
+            streaming=True, memory_budget_bytes=64 << 20,
+        )
+        direct = StreamingReconstructor.from_plan(plan).reconstruct(
+            StackChunkSource(small_projections)
+        )
+        via_session = run_plan(plan, small_projections)
+        np.testing.assert_array_equal(
+            direct.volume.data, via_session.volume.data
+        )
+        assert direct.memory_budget_bytes == 64 << 20
+        assert direct.working_set_bytes <= 64 << 20
+
+    def test_dispatcher_streaming_pilot_is_bit_identical(self):
+        plain = BatchedDispatcher(1, backend="vectorized")
+        streaming = BatchedDispatcher(
+            1, backend="vectorized", streaming_chunk_size=3
+        )
+        whole = plain._backend.backproject(
+            plain._stack, plain._geometry, algorithm="proposed"
+        )
+        chunked = streaming._streaming.reconstruct(streaming._source)
+        np.testing.assert_array_equal(chunked.volume.data, whole.data)
+        assert chunked.chunk_size == 3
+
+    def test_service_executes_streaming_jobs(self):
+        plan = plan_for_problem(
+            "96x96x120->64x64x64", target="service",
+            backend="vectorized", workers=2,
+        )
+        with ReconstructionService(
+            8, backend="vectorized", workers=2, streaming_chunk_size=3
+        ) as service:
+            job = service.submit_plan(plan, dataset_id="stream-1")
+            service.run_until_idle()
+            service.dispatcher.drain()
+            assert service.dispatcher.jobs_executed == 1
+            assert service.dispatcher.streaming_chunk_size == 3
+        assert job.as_record()["state"] == "completed"
+
+    def test_workers_rejected_on_backend_instances(self):
+        with pytest.raises(ValueError, match="by name"):
+            StreamingReconstructor(
+                BASE, backend=get_backend("vectorized"), workers=2
+            )
+
+
+class TestStreamingCLI:
+    PROBLEM = "48x48x24->32x32x32"
+
+    def run_cli(self, *argv, capsys):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_stream_flag_matches_whole_stack_output(self, tmp_path, capsys):
+        whole_path = tmp_path / "whole.npy"
+        stream_path = tmp_path / "stream.npy"
+        code, _, _ = self.run_cli(
+            "reconstruct", "--problem", self.PROBLEM,
+            "--backend", "vectorized", "--output", str(whole_path),
+            capsys=capsys,
+        )
+        assert code == 0
+        code, out, _ = self.run_cli(
+            "reconstruct", "--problem", self.PROBLEM,
+            "--backend", "vectorized", "--stream", "--chunk-size", "7",
+            "--output", str(stream_path),
+            capsys=capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["streaming"] is True
+        assert report["chunks"] == 4
+        np.testing.assert_array_equal(
+            np.load(stream_path), np.load(whole_path)
+        )
+
+    @pytest.mark.parametrize("argv, match", [
+        (("--stream", "--chunk-size", "0"), "positive"),
+        (("--stream", "--chunk-size", "-3"), "positive"),
+        (("--stream", "--memory-budget=0"), "positive"),
+        (("--stream", "--memory-budget", "12XB"), "suffix"),
+        (("--stream", "--memory-budget", "junk"), "cannot parse"),
+        (("--stream", "--memory-budget", "1k"), "raise the budget"),
+        (("--chunk-size", "4"), "streaming"),
+        (("--memory-budget", "64MiB"), "streaming"),
+    ])
+    def test_bad_streaming_flags_exit_2(self, argv, match, capsys):
+        code, _, err = self.run_cli(
+            "reconstruct", "--problem", self.PROBLEM, *argv, capsys=capsys
+        )
+        assert code == 2
+        assert match in err
+
+    def test_plan_emit_and_reconstruct_round_trip(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        code, _, _ = self.run_cli(
+            "plan", "emit", "--problem", self.PROBLEM,
+            "--stream", "--memory-budget", "64MiB",
+            "-o", str(plan_path),
+            capsys=capsys,
+        )
+        assert code == 0
+        plan = ReconstructionPlan.from_json(plan_path.read_text())
+        assert plan.streaming is True
+        assert plan.memory_budget_bytes == 64 << 20
+        code, out, _ = self.run_cli(
+            "reconstruct", "--plan", str(plan_path), capsys=capsys
+        )
+        assert code == 0
+        assert json.loads(out)["streaming"] is True
+
+    def test_plan_file_conflicts_with_stream_flags(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan_for_problem(self.PROBLEM).to_json())
+        code, _, err = self.run_cli(
+            "reconstruct", "--plan", str(plan_path), "--stream",
+            capsys=capsys,
+        )
+        assert code == 2
+        assert "--stream" in err
+
+    def test_plan_validate_rejects_streaming_service_plan(
+        self, tmp_path, capsys
+    ):
+        plan = plan_for_problem(
+            self.PROBLEM, target="service"
+        ).with_updates(streaming=True, chunk_size=4)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan.to_json())
+        code, _, err = self.run_cli(
+            "plan", "validate", str(plan_path), capsys=capsys
+        )
+        assert code == 2
+        assert "only wired for the fdk target" in err
+
+    def test_plan_describe_shows_streaming_fields(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            plan_for_problem(self.PROBLEM, streaming=True, chunk_size=6).to_json()
+        )
+        code, out, _ = self.run_cli(
+            "plan", "describe", str(plan_path), capsys=capsys
+        )
+        assert code == 0
+        assert "streaming" in out
+        assert "chunk_size" in out
+
+
+class TestChunkSources:
+    def test_stack_chunks_are_views_not_copies(self, small_projections):
+        source = StackChunkSource(small_projections)
+        chunk = next(iter(source.chunks([(3, 9)])))
+        assert chunk.stack.np_ == 6
+        assert np.shares_memory(chunk.stack.data, small_projections.data)
+
+    def test_chunk_bounds_validation(self, small_projections):
+        with pytest.raises(ValueError, match="invalid chunk bounds"):
+            from repro.streaming import ProjectionChunk
+
+            ProjectionChunk(start=5, stop=5, stack=small_projections)
+
+    def test_pfs_source_missing_projection_fails_loudly(self, small_projections):
+        pfs = SimulatedPFS()
+        write_projection_dataset(pfs, small_projections)
+        pfs.delete("projections/000005")
+        source = PFSChunkSource(pfs)
+        with pytest.raises(StreamingError, match="missing projections"):
+            list(source.chunks(plan_chunks(source.num_projections, 7)))
+
+    def test_empty_pfs_dataset_rejected(self):
+        with pytest.raises((StreamingError, KeyError)):
+            PFSChunkSource(SimulatedPFS())
+
+    def test_metrics_registry_counts_chunks(self, small_geometry, small_projections):
+        metrics = MetricsRegistry()
+        reconstructor = StreamingReconstructor(
+            small_geometry, backend="vectorized", chunk_size=6,
+            metrics=metrics,
+        )
+        reconstructor.reconstruct(StackChunkSource(small_projections))
+        snapshot = metrics.snapshot()
+        assert snapshot["streaming.chunks"] == 4
+        assert snapshot["streaming.peak_rss_bytes"] > 0
