@@ -101,10 +101,33 @@ class Session:
         spans into it.  ``None`` (the default) keeps the process-wide
         no-op tracer: the hot paths execute their untraced branches and the
         run's :class:`~repro.obs.RunReport` carries no span totals.
+    dispatcher / state_dir / cache_dir:
+        Serving durability knobs, forwarded to the owned
+        :class:`~repro.service.service.ReconstructionService` (service
+        target only; rejected otherwise so a typo'd target cannot silently
+        drop them).  ``dispatcher="process"`` executes pilots in a
+        crash-isolated process pool, ``state_dir`` journals the queue for
+        restart recovery, ``cache_dir`` shares filtered projections on
+        disk across worker processes and restarts.
     """
 
-    def __init__(self, plan: ReconstructionPlan, *, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        plan: ReconstructionPlan,
+        *,
+        tracer: Optional[Tracer] = None,
+        dispatcher: str = "thread",
+        state_dir=None,
+        cache_dir=None,
+    ):
         plan.validate()
+        if plan.target != "service" and (
+            dispatcher != "thread" or state_dir is not None or cache_dir is not None
+        ):
+            raise ValueError(
+                "dispatcher/state_dir/cache_dir are service-target options; "
+                f"this plan targets {plan.target!r}"
+            )
         self.plan = plan
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.plan_key = plan.key()
@@ -150,6 +173,9 @@ class Session:
                     policy="slo",
                     backend=plan.backend,
                     workers=plan.workers or 0,
+                    dispatcher=dispatcher,
+                    state_dir=state_dir,
+                    cache_dir=cache_dir,
                     # Lifetime instruments ride along with tracing; an
                     # untraced session keeps the service's no-op registry.
                     obs=MetricsRegistry() if self.tracer.enabled else None,

@@ -359,13 +359,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="replay a multi-tenant trace through the reconstruction service"
     )
-    serve.add_argument("--trace", type=Path, required=True,
-                       help="workload trace JSON (see 'repro trace')")
+    serve.add_argument("--trace", type=Path, default=None,
+                       help="workload trace JSON (see 'repro trace'); optional "
+                            "when --http serves requests instead")
     serve.add_argument("--gpus", type=int, default=None,
                        help="cluster size (default: the trace's cluster_gpus)")
     serve.add_argument("--policy", choices=("slo", "fifo"), default="slo",
                        help="scheduling policy (default: %(default)s)")
     serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument("--dispatcher", choices=("thread", "process"),
+                       default="thread",
+                       help="pilot executor: 'thread' (in-process pool) or "
+                            "'process' (crash-isolated workers with "
+                            "timeout/retry; default: %(default)s)")
+    serve.add_argument("--state-dir", type=Path, default=None,
+                       help="journal job transitions here; a restarted serve "
+                            "recovers its queue from the journal")
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="shared on-disk filtered-projection cache, "
+                            "visible to every worker process and restart")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve an HTTP/JSON front door on this port "
+                            "(0 = ephemeral; the bound port is printed)")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="bind address for --http (default: %(default)s)")
     add_plan_args(serve, scenario=False)
     serve.add_argument("--report", type=Path, default=None,
                        help="write the full JSON service report to this file")
@@ -623,22 +640,56 @@ def _cmd_scenarios(_: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     workers = _validated_workers(args.workers)
-    if not args.trace.exists():
-        print(f"error: trace file {args.trace} does not exist", file=sys.stderr)
-        return 2
-    trace = ArrivalTrace.load(args.trace)
-    gpus = args.gpus or trace.cluster_gpus
+    if args.trace is None and args.http is None:
+        raise ValueError(
+            "serve needs a workload: --trace replays one, --http accepts "
+            "submissions over the network (or both)"
+        )
+    trace = None
+    if args.trace is not None:
+        if not args.trace.exists():
+            print(f"error: trace file {args.trace} does not exist", file=sys.stderr)
+            return 2
+        trace = ArrivalTrace.load(args.trace)
+    gpus = args.gpus or (trace.cluster_gpus if trace is not None else 16)
     tracer = _tracer_for(args)
+    durable = args.state_dir is not None or args.cache_dir is not None
     with ReconstructionService(
         gpus,
         policy=args.policy,
         admission=AdmissionPolicy(max_depth=args.max_queue_depth),
         backend=args.backend or DEFAULT_BACKEND,
         workers=workers or 0,
+        dispatcher=args.dispatcher,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
         obs=MetricsRegistry() if tracer is not None else None,
     ) as service:
         with use_tracer(tracer):
-            report = service.replay(trace)
+            if trace is not None and not durable and args.http is None:
+                report = service.replay(trace)
+            else:
+                # Durable / HTTP mode: keep the recovered history (replay()
+                # would reset it) and dedup against journaled job ids, so a
+                # restarted serve never re-runs a completed trace job.
+                if trace is not None:
+                    for job in trace.jobs():
+                        if job.job_id not in service.jobs:
+                            service.submit(job, now=job.arrival_seconds)
+                service.run_until_idle()
+                if args.http is not None:
+                    from .service.http import ServiceHTTPServer
+
+                    front = ServiceHTTPServer(
+                        service, host=args.http_host, port=args.http
+                    )
+                    port = front.start()
+                    print(f"serving on http://{args.http_host}:{port}",
+                          flush=True)
+                    front.serve_forever()
+                report = service.report(
+                    description=trace.description if trace is not None else ""
+                )
         if tracer is not None:
             for key, value in sorted(service.obs_snapshot().items()):
                 print(f"{key:>32s} = {value:.3f}", file=sys.stderr)

@@ -7,15 +7,29 @@ onto a simulated GPU cluster using Eq. 8-19 cost estimates, and a
 content-keyed LRU cache of filtered projections lets repeat requests skip
 the filtering stage.  ``repro serve`` and ``repro submit`` expose it on the
 command line.
+
+Real serving rides on three durable pieces: the
+:class:`~repro.service.process_dispatch.ProcessDispatcher` executes pilots
+in a crash-isolated process pool with per-job timeouts and bounded
+retries, the :class:`~repro.service.store.JobStore` journals every job
+transition so ``repro serve --state-dir`` recovers its queue after a kill,
+and the :class:`~repro.service.diskcache.OnDiskFilteredCache` shares
+filtered projections across worker processes and restarts.  The
+:class:`~repro.service.http.ServiceHTTPServer` exposes it all over
+HTTP/JSON, speaking :class:`~repro.api.ReconstructionPlan`.
 """
 
 from .cache import CacheKey, CacheStatistics, FilteredProjectionCache, fingerprint_stack
+from .diskcache import OnDiskFilteredCache
 from .dispatch import DEFAULT_PILOT_PROBLEM, BatchedDispatcher
+from .http import ServiceHTTPServer
 from .job import JobState, ReconstructionJob, job_sort_key
 from .metrics import QueueSample, ServiceMetrics, percentile
-from .queue import AdmissionPolicy, JobQueue
+from .process_dispatch import ProcessDispatcher
+from .queue import AdmissionPolicy, JobQueue, model_runtime_estimator
 from .scheduler import AllocationPlan, ClusterScheduler, GPUCluster, Placement
 from .service import ReconstructionService, ServiceReport
+from .store import JobStore, RecoveredState
 from .trace import (
     MIXED_TABLE4_PROBLEMS,
     ArrivalTrace,
@@ -36,16 +50,22 @@ __all__ = [
     "GPUCluster",
     "JobQueue",
     "JobState",
+    "JobStore",
     "MIXED_TABLE4_PROBLEMS",
+    "OnDiskFilteredCache",
     "Placement",
+    "ProcessDispatcher",
     "QueueSample",
     "ReconstructionJob",
     "ReconstructionService",
+    "RecoveredState",
+    "ServiceHTTPServer",
     "ServiceMetrics",
     "ServiceReport",
     "TraceEntry",
     "fingerprint_stack",
     "job_sort_key",
+    "model_runtime_estimator",
     "percentile",
     "synthetic_trace",
 ]

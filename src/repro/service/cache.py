@@ -43,10 +43,21 @@ __all__ = [
 
 
 def fingerprint_stack(stack: ProjectionStack) -> str:
-    """Content hash of a raw projection stack (shape + data + angles)."""
+    """Content hash of a raw projection stack (shape + dtype + data + angles).
+
+    The dtype is part of the hash: two stacks whose buffers hold identical
+    bytes under different dtypes (an ``int32`` array and its ``float32``
+    reinterpretation, say) are different acquisitions and must never alias
+    one filtered-cache entry.  Hashing the dtype was added after the fact,
+    so fingerprints computed by earlier releases do not match the ones this
+    function produces — persisted cache entries keyed by old fingerprints
+    are cold after an upgrade (a one-time miss, never a wrong hit).
+    """
     digest = hashlib.sha256()
     digest.update(repr(stack.data.shape).encode("ascii"))
+    digest.update(str(stack.data.dtype).encode("ascii"))
     digest.update(np.ascontiguousarray(stack.data).tobytes())
+    digest.update(str(stack.angles.dtype).encode("ascii"))
     digest.update(np.ascontiguousarray(stack.angles).tobytes())
     return digest.hexdigest()[:16]
 
@@ -185,11 +196,15 @@ class FilteredProjectionCache:
         self.pfs = pfs
         self.stats = CacheStatistics()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        # Running byte total, maintained on every insert/refresh/eviction:
+        # eviction must not re-sum the whole table per evicted entry
+        # (O(n^2) on a full cache), and used_bytes stays O(1).
+        self._used_bytes = 0
 
     # ------------------------------------------------------------------ #
     @property
     def used_bytes(self) -> int:
-        return sum(entry.nbytes for entry in self._entries.values())
+        return self._used_bytes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -234,6 +249,12 @@ class FilteredProjectionCache:
             nbytes = filtered.nbytes
         if nbytes is None:
             raise ValueError("insert needs either nbytes or a filtered stack")
+        if nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"cannot cache a {nbytes}-byte filtered dataset: it exceeds "
+                f"the cache capacity of {self.capacity_bytes} bytes (no "
+                "amount of eviction can make it fit)"
+            )
         stored = False
         if self.pfs is not None and filtered is not None:
             self.pfs.write_array(key.object_name, filtered.data)
@@ -242,10 +263,12 @@ class FilteredProjectionCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             entry = self._entries[key]
+            self._used_bytes += nbytes - entry.nbytes
             entry.nbytes = nbytes
             entry.stored_on_pfs = entry.stored_on_pfs or stored
         else:
             self._entries[key] = _Entry(nbytes=nbytes, stored_on_pfs=stored)
+            self._used_bytes += nbytes
             self.stats.insertions += 1
         self._evict_over_capacity()
 
@@ -271,8 +294,13 @@ class FilteredProjectionCache:
 
     # ------------------------------------------------------------------ #
     def _evict_over_capacity(self) -> None:
-        while self.used_bytes > self.capacity_bytes and len(self._entries) > 1:
+        # Evict down to empty if that is what it takes: the old
+        # ``len(self._entries) > 1`` guard left a single over-budget entry
+        # resident forever (oversize inserts are now rejected up front, but
+        # a refresh shrinking the budget headroom must still converge).
+        while self._used_bytes > self.capacity_bytes and self._entries:
             key, entry = self._entries.popitem(last=False)
+            self._used_bytes -= entry.nbytes
             if entry.stored_on_pfs and self.pfs is not None:
                 self.pfs.delete(key.object_name)
                 self.pfs.delete(key.object_name + "/angles")

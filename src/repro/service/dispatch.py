@@ -163,19 +163,23 @@ class BatchedDispatcher:
             return
         executor = self._ensure()
         tracer = get_tracer()
+        # The lock only guards the counters and the pending list, never the
+        # submit loop: ``_execute``'s completion accounting on pool threads
+        # takes the same lock, so holding it across every ``submit`` call
+        # would serialize fast pilots behind the dispatching thread.
         with self._lock:
             self.batches_dispatched += 1
-            with tracer.span("dispatch.batch", jobs=len(placements)) as batch:
-                parent = batch.span_id if tracer.enabled else None
-                for placement in placements:
-                    self._pending.append(
-                        executor.submit(
-                            self._execute,
-                            placement.job,
-                            tracer if tracer.enabled else None,
-                            parent,
-                        )
-                    )
+        with tracer.span("dispatch.batch", jobs=len(placements)) as batch:
+            parent = batch.span_id if tracer.enabled else None
+            for placement in placements:
+                future = executor.submit(
+                    self._execute,
+                    placement.job,
+                    tracer if tracer.enabled else None,
+                    parent,
+                )
+                with self._lock:
+                    self._pending.append(future)
 
     def _run_pilot(self) -> None:
         """One pilot reconstruction: whole-stack or chunked streaming."""

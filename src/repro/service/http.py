@@ -1,0 +1,183 @@
+"""A minimal HTTP/JSON front door for the reconstruction service.
+
+Speaks :class:`~repro.api.ReconstructionPlan` over plain ``http.server``
+(stdlib only — no new dependencies), so "reconstruction as a service" is
+an actual network service rather than a Python API:
+
+* ``POST /plans[?dataset=<id>]`` — body is a plan's canonical JSON
+  (:meth:`~repro.api.ReconstructionPlan.to_json`); submits through
+  :meth:`~repro.service.service.ReconstructionService.submit_plan` and
+  returns the job record.  A malformed or mismatched plan is a ``400``
+  with the :class:`ValueError` text — the same strictness as the API.
+* ``GET /jobs/<id>`` — one job's record (``404`` for an unknown id;
+  restart-recovered jobs are served from the journal-backed registry).
+* ``GET /jobs`` — every known job record.
+* ``GET /metrics`` — the KPI summary plus the obs-registry snapshot.
+* ``POST /advance`` — drive the discrete event loop to idle (completing
+  queued work); with ``auto_advance=True`` every submission does this
+  implicitly, so a demo client never needs to call it.
+
+The server runs on a daemon thread over ``ThreadingHTTPServer``; handler
+threads serialize on the service's own reentrant lock (submissions) and
+on one advance lock (event-loop drives), so concurrent clients compose
+exactly like concurrent in-process tenants.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from .service import ReconstructionService
+
+__all__ = ["ServiceHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by ServiceHTTPServer on the server instance; typed here for clarity.
+    server: "_BoundServer"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service's obs layer is the log; HTTP stays quiet
+
+    # ------------------------------------------------------------------ #
+    def _send(self, code: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        service = self.server.front.service
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["metrics"]:
+            self._send(200, {
+                "summary": service.report().summary,
+                "obs": service.obs_snapshot(),
+            })
+            return
+        if parts == ["jobs"]:
+            with service._lock:
+                records = [job.as_record() for job in service.jobs.values()]
+            self._send(200, {"jobs": records})
+            return
+        if len(parts) == 2 and parts[0] == "jobs":
+            with service._lock:
+                job = service.jobs.get(parts[1])
+            if job is None:
+                self._send(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            self._send(200, job.as_record())
+            return
+        self._send(404, {"error": f"no such resource {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        front = self.server.front
+        service = front.service
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["plans"]:
+            from ..api.plan import ReconstructionPlan  # late: api imports service
+
+            query = parse_qs(parsed.query)
+            dataset_id = (query.get("dataset") or [""])[0]
+            try:
+                plan = ReconstructionPlan.from_json(
+                    self._read_body().decode("utf-8")
+                )
+                job = service.submit_plan(plan, dataset_id=dataset_id)
+            except ValueError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            if front.auto_advance:
+                front.advance()
+            self._send(202, job.as_record())
+            return
+        if parts == ["advance"]:
+            front.advance()
+            self._send(200, {"ok": True, "clock_seconds": service.clock_seconds})
+            return
+        self._send(404, {"error": f"no such resource {parsed.path!r}"})
+
+
+class _BoundServer(ThreadingHTTPServer):
+    daemon_threads = True
+    front: "ServiceHTTPServer"
+
+
+class ServiceHTTPServer:
+    """Serve one :class:`ReconstructionService` over HTTP/JSON."""
+
+    def __init__(
+        self,
+        service: ReconstructionService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auto_advance: bool = True,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port on start()
+        self.auto_advance = auto_advance
+        self._server: Optional[_BoundServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._advance_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def advance(self) -> None:
+        """Drive the event loop to idle; serialized across handler threads."""
+        with self._advance_lock:
+            self.service.run_until_idle()
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the actual port."""
+        if self._server is not None:
+            return self.port
+        server = _BoundServer((self.host, self.port), _Handler)
+        server.front = self
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI's ``--http`` mode); Ctrl-C to stop."""
+        self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

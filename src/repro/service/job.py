@@ -9,8 +9,15 @@ the ``(R, C)`` rank-grid decomposition and GPU allocation it ran with.
 States follow the usual service lifecycle::
 
     PENDING --offer--> QUEUED --place--> RUNNING --finish--> COMPLETED
-        \\                  \\
+        \\                  \\                \\
          +--admission-------+----------> REJECTED
+                                              \\
+                                               +--pilot crash/timeout--> FAILED
+
+``FAILED`` is terminal and only ever set by the real-execution path: a
+job whose pilot reconstruction crashed its worker process or exhausted
+its timeout/retry budget is failed loudly (with the reason recorded)
+instead of being silently counted as completed.
 
 Priorities are small integers with **0 the most urgent** (like an inverted
 Unix nice value); ties break on the earlier SLO deadline, then on submission
@@ -39,6 +46,7 @@ class JobState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     REJECTED = "rejected"
+    FAILED = "failed"
 
 
 @dataclass
@@ -108,6 +116,14 @@ class ReconstructionJob:
     workers: Optional[int] = None
     executed_start_seconds: Optional[float] = None
     executed_finish_seconds: Optional[float] = None
+    # Whether the pilot's filtered projections came from the shared on-disk
+    # cache (ProcessDispatcher only; None when no real pilot ran or the
+    # dispatcher has no cache attached).
+    pilot_cache_hit: Optional[bool] = None
+    # How many times the real execution was attempted (retries after worker
+    # crashes/timeouts increment this past 1).
+    execution_attempts: int = 0
+    failure_reason: Optional[str] = None
     sequence: int = field(default_factory=lambda: next(_job_counter))
 
     def __post_init__(self) -> None:
@@ -248,6 +264,62 @@ class ReconstructionJob:
         self.state = JobState.REJECTED
         self.rejection_reason = reason
 
+    def mark_failed(self, reason: str) -> None:
+        """Fail the job loudly (pilot crash, timeout, exhausted retries)."""
+        self.state = JobState.FAILED
+        self.failure_reason = reason
+
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """The *static* identity of this job, for the durable job store.
+
+        Only submission-time fields travel: the journal records state
+        transitions as separate events, and recovery rebuilds a fresh
+        ``PENDING`` job from this payload before replaying them.
+        """
+        return {
+            "job_id": self.job_id,
+            "problem": str(self.problem),
+            "tenant": self.tenant,
+            "dataset_id": self.dataset_id,
+            "priority": self.priority,
+            "slo_seconds": self.slo_seconds,
+            "arrival_seconds": self.arrival_seconds,
+            "ramp_filter": self.ramp_filter,
+            "scenario": self.scenario,
+            "plan_key": self.plan_key,
+            "acquisition": self.acquisition,
+            "backend": self.backend,
+            "estimated_seconds": self.estimated_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReconstructionJob":
+        """Rebuild a fresh ``PENDING`` job from :meth:`to_payload` output."""
+        try:
+            job = cls(
+                problem=problem_from_string(str(payload["problem"])),
+                tenant=str(payload.get("tenant", "default")),
+                dataset_id=str(payload.get("dataset_id", "")),
+                priority=int(payload.get("priority", 1)),
+                slo_seconds=(
+                    None if payload.get("slo_seconds") is None
+                    else float(payload["slo_seconds"])
+                ),
+                arrival_seconds=float(payload.get("arrival_seconds", 0.0)),
+                ramp_filter=str(payload.get("ramp_filter", "ram-lak")),
+                scenario=str(payload.get("scenario", "full_scan")),
+                job_id=str(payload["job_id"]),
+                plan_key=str(payload.get("plan_key", "")),
+                acquisition=str(payload.get("acquisition", "")),
+            )
+        except KeyError as exc:
+            raise ValueError(f"job payload missing required field {exc}") from exc
+        job.backend = str(payload.get("backend", job.backend))
+        if payload.get("estimated_seconds") is not None:
+            job.estimated_seconds = float(payload["estimated_seconds"])
+        return job
+
     # ------------------------------------------------------------------ #
     def as_record(self) -> dict:
         """Flat dictionary for reports and tables."""
@@ -276,7 +348,10 @@ class ReconstructionJob:
             "workers": self.workers,
             "executed_wall_s": self.executed_wall_seconds,
             "worker_seconds": self.worker_seconds,
+            "pilot_cache_hit": self.pilot_cache_hit,
+            "execution_attempts": self.execution_attempts,
             "rejection_reason": self.rejection_reason,
+            "failure_reason": self.failure_reason,
         }
 
 

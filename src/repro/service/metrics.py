@@ -15,7 +15,14 @@ service operator watches:
   completed jobs (the ``FDKResult``-level split, surfaced service-wide);
 * worker accounting — when placements run for real on the batched
   dispatcher, the measured wall seconds and worker occupancy of those
-  executions, summed across jobs.
+  executions, summed across jobs;
+* failures — jobs whose real execution crashed or timed out past the
+  retry budget (process dispatcher), plus the dispatch-level
+  retry/timeout/crash counters, so "failed loudly" is visible in the
+  same summary operators already read;
+* per-tenant tails — p99 latency and job count per tenant, because a
+  multi-tenant service's aggregate p99 hides exactly the tenant being
+  starved.
 """
 
 from __future__ import annotations
@@ -52,7 +59,13 @@ class ServiceMetrics:
 
     completed: List[ReconstructionJob] = field(default_factory=list)
     rejected: List[ReconstructionJob] = field(default_factory=list)
+    failed: List[ReconstructionJob] = field(default_factory=list)
     queue_samples: List[QueueSample] = field(default_factory=list)
+    # Dispatch-level fault counters (process dispatcher): cumulative over
+    # the metrics window, folded into summary() when non-zero.
+    dispatch_retries: int = 0
+    dispatch_timeouts: int = 0
+    dispatch_crashes: int = 0
 
     # ------------------------------------------------------------------ #
     def record_completion(self, job: ReconstructionJob) -> None:
@@ -64,6 +77,22 @@ class ServiceMetrics:
         if job.state is not JobState.REJECTED:
             raise ValueError(f"job {job.job_id} is {job.state.value}, not rejected")
         self.rejected.append(job)
+
+    def record_failure(self, job: ReconstructionJob) -> None:
+        """Record a job whose real execution failed (crash/timeout).
+
+        The simulated event loop may already have counted the job as
+        completed — the pilot verdict arrives when the dispatcher drains,
+        after the discrete clock moved on — so a failed job is *removed*
+        from the completed list: one job, one outcome.
+        """
+        if job.state is not JobState.FAILED:
+            raise ValueError(f"job {job.job_id} is {job.state.value}, not failed")
+        try:
+            self.completed.remove(job)
+        except ValueError:
+            pass
+        self.failed.append(job)
 
     def sample_queue_depth(self, now: float, depth: int) -> None:
         self.queue_samples.append(QueueSample(time_seconds=now, depth=depth))
@@ -80,6 +109,15 @@ class ServiceMetrics:
         for job in self.completed:
             counts[job.scenario] = counts.get(job.scenario, 0) + 1
         return counts
+
+    @property
+    def tenant_latencies(self) -> Dict[str, List[float]]:
+        """Arrival-to-completion latencies grouped by tenant."""
+        grouped: Dict[str, List[float]] = {}
+        for job in self.completed:
+            if job.latency_seconds is not None:
+                grouped.setdefault(job.tenant, []).append(job.latency_seconds)
+        return grouped
 
     @property
     def makespan_seconds(self) -> float:
@@ -109,6 +147,7 @@ class ServiceMetrics:
         out: Dict[str, float] = {
             "jobs_completed": float(n_done),
             "jobs_rejected": float(len(self.rejected)),
+            "jobs_failed": float(len(self.failed)),
             "makespan_s": makespan,
             "throughput_jobs_per_s": (n_done / makespan) if makespan > 0 else float("nan"),
             "aggregate_gups": (
@@ -146,11 +185,22 @@ class ServiceMetrics:
             out["worker_seconds_total"] = float(
                 sum(j.worker_seconds for j in executed)
             )
+        # Dispatch-fault accounting rides along only when the process
+        # dispatcher saw faults, keeping model-only report shapes exact.
+        if self.dispatch_retries or self.dispatch_timeouts or self.dispatch_crashes:
+            out["dispatch_retries"] = float(self.dispatch_retries)
+            out["dispatch_timeouts"] = float(self.dispatch_timeouts)
+            out["dispatch_crashes"] = float(self.dispatch_crashes)
         # One flat entry per scenario in the completed mix, so operators
         # (and the JSON report) see which acquisition protocols the
         # cluster actually served.
         for scenario, count in sorted(self.scenario_counts.items()):
             out[f"scenario[{scenario}]_jobs"] = float(count)
+        # Per-tenant tail latency: the aggregate p99 of a multi-tenant mix
+        # hides a starved tenant; the per-tenant p99 does not.
+        for tenant, latencies_t in sorted(self.tenant_latencies.items()):
+            out[f"tenant[{tenant}]_jobs"] = float(len(latencies_t))
+            out[f"tenant[{tenant}]_p99_s"] = percentile(latencies_t, 99.0)
         if cache is not None:
             out["cache_hit_rate"] = cache.stats.hit_rate
             out["cache_hits"] = float(cache.stats.hits)

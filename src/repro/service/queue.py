@@ -20,12 +20,42 @@ scheduler can backfill jobs from the middle of the queue.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from .job import JobState, ReconstructionJob, job_sort_key
 
-__all__ = ["AdmissionPolicy", "JobQueue"]
+__all__ = ["AdmissionPolicy", "JobQueue", "model_runtime_estimator"]
+
+
+def model_runtime_estimator(model=None) -> Callable[[ReconstructionJob], Optional[float]]:
+    """An estimator of a job's service time from the Eq. 8-19 model.
+
+    Returns a callable mapping a job to its predicted runtime on the
+    smallest feasible power-of-two GPU grid (the most conservative — i.e.
+    largest — admission estimate), or ``None`` when no grid up to 1024 GPUs
+    fits the problem.  This is the default the queue falls back on when a
+    job arrives without ``estimated_seconds``, so the backlog admission cap
+    cannot be silently bypassed.
+    """
+    from ..pipeline.config import choose_grid  # late import: pipeline imports core
+    from ..pipeline.perfmodel import IFDKPerformanceModel
+
+    model = model or IFDKPerformanceModel()
+
+    def estimate(job: ReconstructionJob) -> Optional[float]:
+        gpus = 1
+        while gpus <= 1024:
+            try:
+                rows, columns = choose_grid(job.problem, gpus)
+            except ValueError:
+                gpus *= 2
+                continue
+            return model.breakdown(job.problem, rows, columns).t_runtime
+        return None
+
+    return estimate
 
 
 @dataclass(frozen=True)
@@ -45,11 +75,19 @@ class AdmissionPolicy:
 class JobQueue:
     """Priority queue of waiting jobs with admission control."""
 
-    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        *,
+        estimator: Optional[Callable[[ReconstructionJob], Optional[float]]] = None,
+    ):
         self.policy = policy or AdmissionPolicy()
         self._jobs: List[ReconstructionJob] = []
         self.offered = 0
         self.rejected = 0
+        # Lazily built: most callers (the service) estimate before offering,
+        # so the model is only constructed when a job actually needs it.
+        self._estimator = estimator
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -80,6 +118,12 @@ class JobQueue:
         Returns ``True`` and marks the job ``QUEUED`` when admitted;
         otherwise marks it ``REJECTED`` with the reason and returns
         ``False``.
+
+        A job arriving without ``estimated_seconds`` does **not** bypass the
+        backlog cap: its service time is estimated from the performance
+        model (and recorded on the job, so it also counts against later
+        arrivals).  Only when no estimate can be produced at all is the job
+        admitted with a warning — loud, never silent.
         """
         self.offered += 1
         if len(self._jobs) >= self.policy.max_depth:
@@ -89,17 +133,33 @@ class JobQueue:
             self.rejected += 1
             return False
         cap = self.policy.max_backlog_seconds
-        if cap is not None and job.estimated_seconds is not None:
-            backlog = self.backlog_seconds + job.estimated_seconds
-            if backlog > cap:
-                job.mark_rejected(
-                    f"backlog {backlog:.1f}s exceeds admission cap {cap:.1f}s"
+        if cap is not None:
+            if job.estimated_seconds is None:
+                job.estimated_seconds = self._estimate(job)
+            if job.estimated_seconds is None:
+                warnings.warn(
+                    f"job {job.job_id} has no runtime estimate and none could "
+                    "be derived from the performance model; admitting it "
+                    "without counting it against the backlog cap",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-                self.rejected += 1
-                return False
+            else:
+                backlog = self.backlog_seconds + job.estimated_seconds
+                if backlog > cap:
+                    job.mark_rejected(
+                        f"backlog {backlog:.1f}s exceeds admission cap {cap:.1f}s"
+                    )
+                    self.rejected += 1
+                    return False
         job.mark_queued()
         self._jobs.append(job)
         return True
+
+    def _estimate(self, job: ReconstructionJob) -> Optional[float]:
+        if self._estimator is None:
+            self._estimator = model_runtime_estimator()
+        return self._estimator(job)
 
     def remove(self, job: ReconstructionJob) -> None:
         """Remove a specific job (used when the scheduler places it)."""

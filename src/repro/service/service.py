@@ -38,11 +38,14 @@ from ..gpusim.device import DeviceSpec, TESLA_V100
 from ..obs import NULL_METRICS, MetricsRegistry, get_tracer
 from ..pipeline.perfmodel import IFDKPerformanceModel
 from .cache import CacheKey, FilteredProjectionCache
+from .diskcache import OnDiskFilteredCache
 from .dispatch import BatchedDispatcher
 from .job import JobState, ReconstructionJob
 from .metrics import ServiceMetrics
+from .process_dispatch import ProcessDispatcher
 from .queue import AdmissionPolicy, JobQueue
 from .scheduler import ClusterScheduler, GPUCluster, Placement
+from .store import JobStore
 from .trace import ArrivalTrace
 
 __all__ = ["ReconstructionService", "ServiceReport"]
@@ -88,6 +91,12 @@ class ReconstructionService:
         pilot_problem: Union[ReconstructionProblem, str, None] = None,
         streaming_chunk_size: Optional[int] = None,
         obs: Optional[MetricsRegistry] = None,
+        dispatcher: str = "thread",
+        state_dir=None,
+        cache_dir=None,
+        dispatch_timeout_seconds: float = 60.0,
+        dispatch_max_retries: int = 2,
+        fault_injection: Optional[Dict[str, dict]] = None,
     ):
         from ..backends import get_backend  # late import: backends import core
 
@@ -96,19 +105,50 @@ class ReconstructionService:
                 f"workers must be a non-negative integer (got {workers!r}); "
                 "0 disables real execution"
             )
+        if dispatcher not in ("thread", "process"):
+            raise ValueError(
+                f"dispatcher must be 'thread' or 'process' (got {dispatcher!r})"
+            )
+        if dispatcher == "process" and streaming_chunk_size is not None:
+            raise ValueError(
+                "streaming pilots are a thread-dispatcher configuration; "
+                "the process dispatcher always runs whole-stack pilots"
+            )
         self.backend = get_backend(backend).name
         self.workers = int(workers)
-        self.dispatcher: Optional[BatchedDispatcher] = (
-            BatchedDispatcher(
+        self.dispatcher_kind = dispatcher
+        self.dispatcher: Union[BatchedDispatcher, ProcessDispatcher, None] = None
+        if self.workers and dispatcher == "process":
+            self.dispatcher = ProcessDispatcher(
+                self.workers,
+                backend=self.backend,
+                pilot_problem=pilot_problem,
+                cache_dir=cache_dir,
+                timeout_seconds=dispatch_timeout_seconds,
+                max_retries=dispatch_max_retries,
+                fault_injection=fault_injection,
+                on_executed=self._on_pilot_executed,
+                on_failed=self._on_pilot_failed,
+                on_retry=self._on_pilot_retry,
+                on_timeout=self._on_pilot_timeout,
+                on_crash=self._on_pilot_crash,
+            )
+        elif self.workers:
+            self.dispatcher = BatchedDispatcher(
                 self.workers, backend=self.backend, pilot_problem=pilot_problem,
                 streaming_chunk_size=streaming_chunk_size,
             )
-            if self.workers
-            else None
-        )
         self._lock = threading.RLock()
         self.cluster = GPUCluster(cluster_gpus, device=device)
-        self.cache = cache if cache is not None else FilteredProjectionCache()
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            # Shared on-disk cache: entries (and their LRU recency) are
+            # files, so they survive restarts and are visible to every
+            # process sharing the directory — including pilot workers.
+            self.cache = OnDiskFilteredCache(cache_dir)
+        else:
+            self.cache = FilteredProjectionCache()
         self.scheduler = ClusterScheduler(
             self.cluster,
             model=model,
@@ -125,6 +165,15 @@ class ReconstructionService:
         self._running: List[Placement] = []
         self._finish_heap: List = []  # (finish, sequence, Placement)
         self.clock_seconds = 0.0
+        # Registry of every job this service has seen (by id), for the
+        # HTTP front door and restart recovery.
+        self.jobs: Dict[str, ReconstructionJob] = {}
+        self.store: Optional[JobStore] = (
+            JobStore(state_dir) if state_dir is not None else None
+        )
+        self.recovered_jobs = 0
+        if self.store is not None:
+            self._recover()
 
     @property
     def policy(self) -> str:
@@ -133,6 +182,62 @@ class ReconstructionService:
     @property
     def running_jobs(self) -> List[ReconstructionJob]:
         return [placement.job for placement in self._running]
+
+    # ------------------------------------------------------------------ #
+    # Restart recovery and pilot-outcome callbacks
+    # ------------------------------------------------------------------ #
+    def _recover(self) -> None:
+        """Replay the job store's journal into this fresh service.
+
+        Terminal jobs (completed / rejected / failed) come back as records
+        only — their outcome is history, visible to ``report()`` and the
+        HTTP registry.  In-flight jobs (submitted / queued / placed when
+        the previous incarnation died) are re-admitted through the normal
+        ``submit`` path at their original arrival times: at-least-once
+        execution, no lost jobs, no duplicates (the journal dedups by id).
+        """
+        recovered = self.store.recover()
+        self.recovered_jobs = len(recovered)
+        for job in recovered.completed:
+            self.jobs[job.job_id] = job
+            self.metrics.record_completion(job)
+        for job in recovered.rejected:
+            self.jobs[job.job_id] = job
+            self.metrics.record_rejection(job)
+        for job in recovered.failed:
+            self.jobs[job.job_id] = job
+            self.metrics.record_failure(job)
+        for job in recovered.pending:
+            self.submit(job, now=job.arrival_seconds)
+        if recovered.pending:
+            self.obs.counter("service.jobs_recovered").inc(len(recovered.pending))
+
+    def _on_pilot_executed(self, job: ReconstructionJob) -> None:
+        with self._lock:
+            if self.store is not None:
+                self.store.record_executed(job)
+            if job.pilot_cache_hit is not None:
+                name = (
+                    "dispatch.pilot_cache_hits" if job.pilot_cache_hit
+                    else "dispatch.pilot_cache_misses"
+                )
+                self.obs.counter(name).inc()
+
+    def _on_pilot_failed(self, job: ReconstructionJob) -> None:
+        with self._lock:
+            self.metrics.record_failure(job)
+            if self.store is not None:
+                self.store.record_failed(job)
+            self.obs.counter("service.jobs_failed").inc()
+
+    def _on_pilot_retry(self, job: ReconstructionJob, reason: str) -> None:
+        self.obs.counter("dispatch.retries").inc()
+
+    def _on_pilot_timeout(self, job: ReconstructionJob) -> None:
+        self.obs.counter("dispatch.timeouts").inc()
+
+    def _on_pilot_crash(self, job: ReconstructionJob) -> None:
+        self.obs.counter("dispatch.crashes").inc()
 
     # ------------------------------------------------------------------ #
     # Submission and the event loop
@@ -162,6 +267,11 @@ class ReconstructionService:
             now = self.clock_seconds if now is None else now
             job.arrival_seconds = now
             job.backend = self.backend  # every rank runs one backend
+            self.jobs[job.job_id] = job
+            if self.store is not None:
+                # Journal the submission before deciding its fate: a service
+                # killed mid-admission re-admits the job on recovery.
+                self.store.record_submitted(job)
             feasibility = self.scheduler.best_plan(job, self.cluster.total_gpus, now)
             if feasibility is None:
                 job.mark_rejected(
@@ -169,13 +279,19 @@ class ReconstructionService:
                     f"{self.cluster.total_gpus} x {self.cluster.device.name}"
                 )
                 self.metrics.record_rejection(job)
+                if self.store is not None:
+                    self.store.record_rejected(job)
                 self.obs.counter("service.jobs_rejected").inc()
                 return False
             job.estimated_seconds = feasibility.runtime_seconds
             if not self.queue.offer(job):
                 self.metrics.record_rejection(job)
+                if self.store is not None:
+                    self.store.record_rejected(job)
                 self.obs.counter("service.jobs_rejected").inc()
                 return False
+            if self.store is not None:
+                self.store.record_queued(job)
             self.obs.counter("service.jobs_submitted").inc()
             return True
 
@@ -213,6 +329,8 @@ class ReconstructionService:
             self.obs.counter("service.scheduler_cycles").inc()
             for job in rejected:
                 self.metrics.record_rejection(job)
+                if self.store is not None:
+                    self.store.record_rejected(job)
                 self.obs.counter("service.jobs_rejected").inc()
             for placement in placements:
                 self._running.append(placement)
@@ -220,6 +338,8 @@ class ReconstructionService:
                     self._finish_heap,
                     (placement.finish_seconds, placement.job.sequence, placement),
                 )
+                if self.store is not None:
+                    self.store.record_placed(placement.job, placement.finish_seconds)
                 self.obs.counter("service.jobs_placed").inc()
                 self.obs.histogram("service.queue_wait_seconds").observe(
                     placement.start_seconds - placement.job.arrival_seconds
@@ -243,11 +363,18 @@ class ReconstructionService:
             job = placement.job
             job.mark_completed(now)
             self.metrics.record_completion(job)
+            if self.store is not None:
+                self.store.record_completed(job)
             self.obs.counter("service.jobs_completed").inc()
             if job.latency_seconds is not None:
                 self.obs.histogram("service.latency_seconds").observe(
                     job.latency_seconds
                 )
+                # Per-tenant tail: the aggregate histogram hides a starved
+                # tenant behind everyone else's fast completions.
+                self.obs.histogram(
+                    f"service.latency_seconds[tenant={job.tenant}]"
+                ).observe(job.latency_seconds)
             # Filtering ran as part of the job (unless it was a hit); its
             # output is now on the PFS for every later job on the dataset.
             self.cache.insert(
@@ -291,9 +418,13 @@ class ReconstructionService:
         return self.report(description=trace.description)
 
     def close(self) -> None:
-        """Join the dispatcher's worker threads (no-op without real execution)."""
-        if self.dispatcher is not None:
-            self.dispatcher.close()
+        """Join the dispatcher's workers and close the job store."""
+        try:
+            if self.dispatcher is not None:
+                self.dispatcher.close()
+        finally:
+            if self.store is not None:
+                self.store.close()
 
     def __enter__(self) -> "ReconstructionService":
         return self
@@ -339,6 +470,8 @@ class ReconstructionService:
                             "starved: no future completion can free enough GPUs"
                         )
                         self.metrics.record_rejection(job)
+                        if self.store is not None:
+                            self.store.record_rejected(job)
                     break
                 self.clock_seconds = now
                 while self._finish_heap and self._finish_heap[0][0] <= now:
@@ -355,11 +488,18 @@ class ReconstructionService:
     # ------------------------------------------------------------------ #
     def report(self, description: str = "") -> ServiceReport:
         """Current metrics as a :class:`ServiceReport`."""
+        dispatcher = self.dispatcher
+        if isinstance(dispatcher, ProcessDispatcher):
+            # Dispatcher counters are the source of truth for fault
+            # accounting; fold them into the metrics window at read time.
+            self.metrics.dispatch_retries = dispatcher.retries
+            self.metrics.dispatch_timeouts = dispatcher.timeouts
+            self.metrics.dispatch_crashes = dispatcher.crashes
         summary = self.metrics.summary(
             cache=self.cache, cluster_gpus=self.cluster.total_gpus
         )
         jobs = sorted(
-            self.metrics.completed + self.metrics.rejected,
+            self.metrics.completed + self.metrics.rejected + self.metrics.failed,
             key=lambda j: (j.arrival_seconds, j.sequence),
         )
         return ServiceReport(

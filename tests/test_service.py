@@ -866,3 +866,164 @@ class TestPlanDrivenCacheKeying:
         assert job.plan_key == plan.key()
         assert job.tenant == "plan-tenant"
         assert job.met_slo is True
+
+
+# --------------------------------------------------------------------------- #
+# Service-layer bugfix regressions (cache eviction, fingerprint dtype,
+# dispatcher lock contention, backlog-cap bypass)
+# --------------------------------------------------------------------------- #
+class TestCacheEvictionRegressions:
+    def key(self, dataset):
+        return CacheKey(dataset_id=dataset, ramp_filter="ram-lak", nu=64, nv=64, np_=32)
+
+    def test_oversize_insert_is_rejected(self):
+        # Pre-fix: an entry larger than the capacity was accepted and the
+        # `len > 1` eviction guard kept it resident forever.
+        cache = FilteredProjectionCache(capacity_bytes=100)
+        with pytest.raises(ValueError, match="exceeds the cache capacity"):
+            cache.insert(self.key("big"), nbytes=150)
+        assert len(cache) == 0 and cache.used_bytes == 0
+
+    def test_oversize_refresh_is_rejected_without_corrupting_accounting(self):
+        cache = FilteredProjectionCache(capacity_bytes=100)
+        cache.insert(self.key("a"), nbytes=40)
+        with pytest.raises(ValueError, match="exceeds the cache capacity"):
+            cache.insert(self.key("a"), nbytes=150)
+        assert cache.used_bytes == 40 and cache.contains(self.key("a"))
+
+    def test_used_bytes_is_a_running_total_not_a_rescan(self):
+        # Pre-fix, used_bytes re-summed every entry on each access (O(n^2)
+        # over an eviction loop).  A running total does not see mutations
+        # made behind the cache's back; the re-sum did.
+        cache = FilteredProjectionCache(capacity_bytes=1000)
+        cache.insert(self.key("a"), nbytes=100)
+        next(iter(cache._entries.values())).nbytes = 999
+        assert cache.used_bytes == 100
+
+    def test_running_total_tracks_insert_refresh_and_eviction(self):
+        cache = FilteredProjectionCache(capacity_bytes=100)
+        a, b, c = self.key("a"), self.key("b"), self.key("c")
+        cache.insert(a, nbytes=40)
+        cache.insert(b, nbytes=40)
+        cache.insert(a, nbytes=10)  # refresh shrinks a, moves it to MRU
+        assert cache.used_bytes == 50
+        cache.insert(c, nbytes=60)  # 110 > 100: evicts b (LRU)
+        assert cache.used_bytes == 70
+        assert cache.contains(a) and cache.contains(c) and not cache.contains(b)
+        assert cache.stats.evictions == 1
+        # The running total always agrees with a ground-truth re-sum.
+        assert cache.used_bytes == sum(e.nbytes for e in cache._entries.values())
+
+
+class TestFingerprintDtypeRegression:
+    def test_dtype_reinterpretation_changes_fingerprint(self):
+        from repro.core.types import ProjectionStack
+
+        data = np.linspace(0.0, 1.0, 2 * 4 * 8, dtype=np.float32).reshape(2, 4, 8)
+        angles = np.linspace(0.0, 2 * np.pi, 2, endpoint=False)
+        base = ProjectionStack(data=data, angles=angles)
+        alias = ProjectionStack(data=data.copy(), angles=angles.copy())
+        # Reinterpret the identical buffer as int32: same bytes, same shape,
+        # different acquisition.  Pre-fix these aliased one cache entry.
+        alias.data = alias.data.view(np.int32)
+        assert alias.data.tobytes() == base.data.tobytes()
+        assert alias.data.shape == base.data.shape
+        assert fingerprint_stack(base) != fingerprint_stack(alias)
+
+
+class TestDispatcherLockContentionRegression:
+    def test_completion_accounting_proceeds_during_long_dispatch(self):
+        import time
+
+        from repro.service import AllocationPlan, Placement
+
+        dispatcher = BatchedDispatcher(2, backend="vectorized")
+        inner = dispatcher._ensure()
+        gate = threading.Event()
+        observed_during_dispatch = threading.Event()
+
+        class SlowSubmitExecutor:
+            """Stretches the dispatch loop: blocks after the first submit."""
+
+            def __init__(self, executor):
+                self._executor = executor
+                self._submissions = 0
+
+            def submit(self, fn, *args):
+                future = self._executor.submit(fn, *args)
+                self._submissions += 1
+                if self._submissions == 1:
+                    gate.wait(timeout=15.0)
+                return future
+
+            def __getattr__(self, name):
+                return getattr(self._executor, name)
+
+        dispatcher._executor = SlowSubmitExecutor(inner)
+
+        def watch():
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                if dispatcher.jobs_executed >= 1:
+                    observed_during_dispatch.set()
+                    break
+                time.sleep(0.005)
+            gate.set()  # always unblock dispatch: fail the assert, not hang
+
+        watcher = threading.Thread(target=watch, name="accounting-watcher")
+        watcher.start()
+        plan = AllocationPlan(
+            gpus=1, rows=1, columns=1, runtime_seconds=1.0, cache_hit=False
+        )
+        placements = [
+            Placement(job=make_job(SMALL), plan=plan, start_seconds=0.0)
+            for _ in range(2)
+        ]
+        try:
+            # Pre-fix, dispatch held the dispatcher lock across the whole
+            # submit loop, so the first pilot's completion accounting (which
+            # needs the same lock) could not land until dispatch returned.
+            dispatcher.dispatch(placements)
+        finally:
+            watcher.join()
+            dispatcher.close()
+        assert observed_during_dispatch.is_set()
+        assert dispatcher.jobs_executed == 2
+
+
+class TestQueueBacklogEstimationRegression:
+    def test_missing_estimate_counts_against_backlog_cap(self):
+        # Pre-fix: estimated_seconds=None silently bypassed the cap.
+        queue = JobQueue(
+            AdmissionPolicy(max_backlog_seconds=10.0), estimator=lambda job: 8.0
+        )
+        first, second = make_job(), make_job()
+        assert first.estimated_seconds is None
+        assert queue.offer(first)
+        assert first.estimated_seconds == 8.0  # estimate recorded on the job
+        assert not queue.offer(second)
+        assert second.state is JobState.REJECTED
+        assert "backlog" in second.rejection_reason
+
+    def test_default_estimator_derives_from_performance_model(self):
+        queue = JobQueue(AdmissionPolicy(max_backlog_seconds=1e9))
+        job = make_job(SMALL)
+        assert queue.offer(job)
+        assert job.estimated_seconds is not None and job.estimated_seconds > 0
+        assert queue.backlog_seconds == pytest.approx(job.estimated_seconds)
+
+    def test_unestimatable_job_is_admitted_with_warning(self):
+        queue = JobQueue(
+            AdmissionPolicy(max_backlog_seconds=10.0), estimator=lambda job: None
+        )
+        job = make_job()
+        with pytest.warns(RuntimeWarning, match="no runtime estimate"):
+            assert queue.offer(job)
+        assert job.state is JobState.QUEUED
+
+    def test_no_cap_never_consults_the_estimator(self):
+        def exploding(job):
+            raise AssertionError("estimator must not run without a backlog cap")
+
+        queue = JobQueue(estimator=exploding)
+        assert queue.offer(make_job())

@@ -1,0 +1,640 @@
+"""Tests for the durable serving layer: job store, on-disk cache,
+process dispatcher and the HTTP front door.
+
+Fast tests (journal replay, disk-cache semantics, in-process restart
+recovery, HTTP endpoints) run in tier-1.  Tests that spawn real worker
+processes or kill a subprocess are additionally marked ``slow`` — the CI
+``service-serving`` job runs them with ``-m serving``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import plan_for_problem
+from repro.core.types import ProjectionStack, problem_from_string
+from repro.core import default_geometry_for_problem
+from repro.service import (
+    CacheKey,
+    JobState,
+    JobStore,
+    OnDiskFilteredCache,
+    ProcessDispatcher,
+    ReconstructionJob,
+    ReconstructionService,
+    ServiceHTTPServer,
+)
+
+pytestmark = pytest.mark.serving
+
+SMALL = "512x512x1024->256x256x256"
+PILOT = "32x32x16->16x16x16"
+
+
+def make_job(problem=SMALL, **kwargs) -> ReconstructionJob:
+    return ReconstructionJob(problem=problem_from_string(problem), **kwargs)
+
+
+def make_filtered_stack(nu=8, nv=8, np_=4, seed=0) -> ProjectionStack:
+    geometry = default_geometry_for_problem(
+        nu=nu, nv=nv, np_=np_, nx=4, ny=4, nz=4
+    )
+    rng = np.random.default_rng(seed)
+    return ProjectionStack(
+        data=rng.standard_normal((np_, nv, nu)).astype(np.float32),
+        angles=geometry.angles,
+        filtered=True,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Job store: journal + recovery
+# --------------------------------------------------------------------------- #
+class TestJobStore:
+    def test_round_trip_of_all_lifecycle_events(self, tmp_path):
+        store = JobStore(tmp_path)
+        done = make_job(job_id="done", dataset_id="ds-1", slo_seconds=60.0)
+        store.record_submitted(done)
+        store.record_queued(done)
+        done.mark_running(1.0, gpus=4, rows=1, columns=4, cache_hit=True,
+                          filter_seconds=0.5, backprojection_seconds=2.0)
+        store.record_placed(done, 9.0)
+        done.mark_executed(0.1, 0.4, workers=2)
+        done.execution_attempts = 1
+        done.pilot_cache_hit = True
+        store.record_executed(done)
+        done.mark_completed(9.0)
+        store.record_completed(done)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert len(recovered) == 1 and not recovered.pending
+        job = recovered.completed[0]
+        assert job.job_id == "done"
+        assert job.state is JobState.COMPLETED
+        assert job.start_seconds == 1.0 and job.finish_seconds == 9.0
+        assert job.gpus == 4 and job.cache_hit is True
+        assert job.slo_seconds == 60.0 and job.met_slo is True
+        assert job.pilot_cache_hit is True and job.workers == 2
+
+    def test_in_flight_jobs_recover_as_fresh_pending(self, tmp_path):
+        store = JobStore(tmp_path)
+        queued = make_job(job_id="q", arrival_seconds=3.0)
+        store.record_submitted(queued)
+        store.record_queued(queued)
+        placed = make_job(job_id="p", arrival_seconds=4.0)
+        store.record_submitted(placed)
+        store.record_queued(placed)
+        placed.mark_running(5.0, gpus=2, rows=1, columns=2, cache_hit=False)
+        store.record_placed(placed, 30.0)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        ids = {job.job_id for job in recovered.pending}
+        assert ids == {"q", "p"}
+        for job in recovered.pending:
+            # Placed-but-incomplete restarts from scratch: at-least-once.
+            assert job.state is JobState.PENDING
+            assert job.start_seconds is None and job.gpus is None
+        by_id = {job.job_id: job for job in recovered.pending}
+        assert by_id["q"].arrival_seconds == 3.0
+
+    def test_terminal_classification(self, tmp_path):
+        store = JobStore(tmp_path)
+        rej = make_job(job_id="rej")
+        store.record_submitted(rej)
+        rej.mark_rejected("queue full")
+        store.record_rejected(rej)
+        bad = make_job(job_id="bad")
+        store.record_submitted(bad)
+        store.record_queued(bad)
+        bad.mark_failed("pilot worker crashed")
+        store.record_failed(bad)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert not recovered.pending and not recovered.completed
+        assert recovered.rejected[0].rejection_reason == "queue full"
+        assert recovered.failed[0].state is JobState.FAILED
+        assert recovered.failed[0].failure_reason == "pilot worker crashed"
+
+    def test_rejournaled_job_recovers_exactly_once(self, tmp_path):
+        # A recovery re-submits in-flight jobs, which re-journals them; the
+        # next recovery must still see one job, in its latest state.
+        store = JobStore(tmp_path)
+        job = make_job(job_id="twice")
+        store.record_submitted(job)
+        store.record_queued(job)
+        store.record_submitted(job)  # the re-journal from a recovery
+        store.record_queued(job)
+        job.mark_completed(7.0)
+        store.record_completed(job)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert len(recovered) == 1
+        assert recovered.completed[0].finish_seconds == 7.0
+
+    def test_late_pilot_verdict_does_not_demote_a_completed_job(self, tmp_path):
+        # The dispatcher drains after the simulated event loop, so the
+        # pilot's `executed` event lands after `completed` in the journal;
+        # it must enrich the outcome, not demote the job back to pending.
+        store = JobStore(tmp_path)
+        job = make_job(job_id="late")
+        store.record_submitted(job)
+        store.record_queued(job)
+        job.mark_running(0.0, gpus=2, rows=1, columns=2, cache_hit=False)
+        store.record_placed(job, 5.0)
+        job.mark_completed(5.0)
+        store.record_completed(job)
+        job.mark_executed(0.0, 0.3, workers=1)
+        job.pilot_cache_hit = False
+        job.execution_attempts = 1
+        store.record_executed(job)  # after `completed`
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert not recovered.pending
+        assert recovered.completed[0].state is JobState.COMPLETED
+        assert recovered.completed[0].workers == 1
+
+    def test_late_pilot_failure_overturns_a_completed_job(self, tmp_path):
+        # ...but a *terminal* late verdict (the pilot failed after the
+        # simulated completion) does replace the outcome: one job, one
+        # outcome, and the real execution wins.
+        store = JobStore(tmp_path)
+        job = make_job(job_id="overturned")
+        store.record_submitted(job)
+        store.record_queued(job)
+        job.mark_completed(5.0)
+        store.record_completed(job)
+        job.mark_failed("pilot worker crashed (attempt 2)")
+        store.record_failed(job)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert not recovered.completed
+        assert recovered.failed[0].failure_reason == (
+            "pilot worker crashed (attempt 2)"
+        )
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = make_job(job_id="ok")
+        store.record_submitted(job)
+        store.record_queued(job)
+        store.close()
+        with store.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "comp')  # killed mid-write
+
+        recovered = JobStore(tmp_path).recover()
+        assert [j.job_id for j in recovered.pending] == ["ok"]
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = make_job(job_id="ok")
+        store.record_submitted(job)
+        store.close()
+        lines = store.journal_path.read_text().splitlines()
+        store.journal_path.write_text("not json\n" + "\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt journal"):
+            JobStore(tmp_path).recover()
+
+    def test_unknown_event_kind_is_rejected_on_append(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown journal event"):
+            JobStore(tmp_path).append("exploded", "job-1")
+
+
+# --------------------------------------------------------------------------- #
+# On-disk filtered-projection cache
+# --------------------------------------------------------------------------- #
+def disk_key(dataset_id: str, **kwargs) -> CacheKey:
+    fields = dict(dataset_id=dataset_id, ramp_filter="ram-lak",
+                  nu=8, nv=8, np_=4)
+    fields.update(kwargs)
+    return CacheKey(**fields)
+
+
+class TestOnDiskFilteredCache:
+    def test_payload_round_trip(self, tmp_path):
+        cache = OnDiskFilteredCache(tmp_path, capacity_bytes=1 << 20)
+        key = disk_key("ds-1")
+        stack = make_filtered_stack(seed=7)
+        assert cache.lookup(key) is False
+        cache.insert(key, filtered=stack)
+        assert cache.contains(key)
+        restored = cache.get_filtered(key)
+        np.testing.assert_array_equal(restored.data, stack.data)
+        np.testing.assert_array_equal(restored.angles, stack.angles)
+        assert restored.filtered is True
+
+    def test_second_instance_sees_entries(self, tmp_path):
+        first = OnDiskFilteredCache(tmp_path, capacity_bytes=1 << 20)
+        key = disk_key("ds-shared")
+        first.insert(key, filtered=make_filtered_stack(seed=1))
+        # A different instance (as a different process would build) hits.
+        second = OnDiskFilteredCache(tmp_path, capacity_bytes=1 << 20)
+        assert second.lookup(key) is True
+        assert second.get_filtered(key) is not None
+        assert second.stats.hits == 2
+
+    def test_lru_eviction_by_byte_budget(self, tmp_path):
+        from repro.service.diskcache import _key_tag
+
+        cache = OnDiskFilteredCache(tmp_path, capacity_bytes=250)
+        a, b, c = disk_key("a"), disk_key("b"), disk_key("c")
+        cache.insert(a, nbytes=100)
+        cache.insert(b, nbytes=100)
+        # Make the recency order unambiguous (mtime is the LRU clock):
+        # a is oldest, b was touched more recently.
+        os.utime(cache._meta_path(_key_tag(a)), (1_000_000, 1_000_000))
+        os.utime(cache._meta_path(_key_tag(b)), (2_000_000, 2_000_000))
+        cache.insert(c, nbytes=100)  # 300 > 250: evicts the oldest (a)
+        assert not cache.contains(a)
+        assert cache.contains(b) and cache.contains(c)
+        assert cache.used_bytes <= 250
+        assert cache.stats.evictions == 1
+
+    def test_oversize_insert_is_rejected(self, tmp_path):
+        cache = OnDiskFilteredCache(tmp_path, capacity_bytes=100)
+        with pytest.raises(ValueError, match="exceeds the cache capacity"):
+            cache.insert(disk_key("big"), nbytes=101)
+        assert len(cache) == 0
+
+    def test_size_only_entry_misses_functional_read(self, tmp_path):
+        cache = OnDiskFilteredCache(tmp_path, capacity_bytes=1 << 20)
+        key = disk_key("sched-only")
+        cache.insert(key, nbytes=64)
+        assert cache.contains(key)
+        assert cache.get_filtered(key) is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_survives_missing_payload_file(self, tmp_path):
+        cache = OnDiskFilteredCache(tmp_path, capacity_bytes=1 << 20)
+        key = disk_key("gone")
+        cache.insert(key, filtered=make_filtered_stack())
+        # Simulate a concurrent eviction between meta read and payload load.
+        cache._payload_path(cache._entries()[0][1]).unlink()
+        assert cache.get_filtered(key) is None  # a miss, not an error
+
+
+# --------------------------------------------------------------------------- #
+# Service restart recovery (in-process)
+# --------------------------------------------------------------------------- #
+class TestServiceRestartRecovery:
+    def test_queued_workload_survives_restart_without_loss_or_dupes(
+        self, tmp_path
+    ):
+        state = tmp_path / "state"
+        first = ReconstructionService(16, backend="vectorized", state_dir=state)
+        for index in range(3):
+            job = make_job(job_id=f"job-r{index}", dataset_id="ds-r",
+                           arrival_seconds=float(index))
+            assert first.submit(job, now=job.arrival_seconds)
+        # Killed before any event-loop progress: jobs are queued, not run.
+        first.close()
+
+        second = ReconstructionService(16, backend="vectorized", state_dir=state)
+        assert second.recovered_jobs == 3
+        assert len(second.queue) == 3
+        assert sorted(second.jobs) == ["job-r0", "job-r1", "job-r2"]
+        second.run_until_idle()
+        report = second.report()
+        assert report.summary["jobs_completed"] == 3.0
+        second.close()
+
+        third = ReconstructionService(16, backend="vectorized", state_dir=state)
+        # No duplicates: the journal dedups by job id, keeping outcomes.
+        assert third.recovered_jobs == 3
+        assert len(third.queue) == 0
+        assert third.report().summary["jobs_completed"] == 3.0
+        third.close()
+
+    def test_rejections_survive_restart(self, tmp_path):
+        state = tmp_path / "state"
+        from repro.service import AdmissionPolicy
+
+        first = ReconstructionService(
+            16, backend="vectorized", state_dir=state,
+            admission=AdmissionPolicy(max_depth=1),
+        )
+        assert first.submit(make_job(job_id="fits"))
+        assert not first.submit(make_job(job_id="overflow"))
+        first.close()
+
+        second = ReconstructionService(16, backend="vectorized", state_dir=state)
+        assert second.jobs["overflow"].state is JobState.REJECTED
+        assert len(second.queue) == 1  # only the admitted job came back
+        second.close()
+
+    def test_kill_minus_nine_mid_queue_recovers(self, tmp_path):
+        """A SIGKILLed service process leaves a journal a fresh process
+        recovers the full queue from."""
+        state = tmp_path / "state"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.core.types import problem_from_string
+            from repro.service import ReconstructionJob, ReconstructionService
+
+            service = ReconstructionService(
+                16, backend="vectorized", state_dir={str(state)!r})
+            for index in range(4):
+                service.submit(ReconstructionJob(
+                    problem=problem_from_string({SMALL!r}),
+                    job_id=f"killed-{{index}}", dataset_id="ds-k"))
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, timeout=120,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        service = ReconstructionService(16, backend="vectorized", state_dir=state)
+        assert service.recovered_jobs == 4
+        assert len(service.queue) == 4
+        service.run_until_idle()
+        assert service.report().summary["jobs_completed"] == 4.0
+        service.close()
+
+
+# --------------------------------------------------------------------------- #
+# Process dispatcher: real workers, faults, shared cache
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestProcessDispatcher:
+    def test_cross_process_cache_hit_across_service_restarts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = ReconstructionService(
+            16, backend="vectorized", workers=2, dispatcher="process",
+            pilot_problem=PILOT, cache_dir=cache_dir,
+        )
+        j1 = make_job(job_id="warm", dataset_id="ds-X")
+        first.submit(j1)
+        first.run_until_idle()
+        assert j1.pilot_cache_hit is False  # first worker filtered + wrote
+        first.close()
+
+        # A new service = new worker processes; same cache directory.
+        second = ReconstructionService(
+            16, backend="vectorized", workers=2, dispatcher="process",
+            pilot_problem=PILOT, cache_dir=cache_dir,
+        )
+        j2 = make_job(job_id="hit", dataset_id="ds-X")
+        j3 = make_job(job_id="other", dataset_id="ds-Y")
+        second.submit(j2)
+        second.submit(j3)
+        second.run_until_idle()
+        assert j2.pilot_cache_hit is True  # written by another OS process
+        assert j3.pilot_cache_hit is False  # different dataset never aliases
+        second.close()
+
+    def test_injected_crash_fails_loudly_and_degrades_the_pool(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        obs = MetricsRegistry()
+        service = ReconstructionService(
+            16, backend="vectorized", workers=2, dispatcher="process",
+            pilot_problem=PILOT, dispatch_timeout_seconds=60.0,
+            dispatch_max_retries=1, obs=obs,
+            fault_injection={"doomed": {"crash_attempts": [1, 2]}},
+        )
+        doomed = make_job(job_id="doomed", dataset_id="ds-c")
+        fine = make_job(job_id="fine", dataset_id="ds-c2")
+        service.submit(doomed)
+        service.submit(fine)
+        service.run_until_idle()
+        assert doomed.state is JobState.FAILED
+        assert "crashed" in doomed.failure_reason
+        assert doomed.execution_attempts == 2
+        assert fine.state is JobState.COMPLETED
+        dispatcher = service.dispatcher
+        assert dispatcher.crashes == 2
+        assert dispatcher.effective_workers == 1  # degraded, still alive
+        summary = service.report().summary
+        assert summary["jobs_failed"] == 1.0
+        assert summary["dispatch_crashes"] == 2.0
+        snapshot = service.obs_snapshot()
+        assert snapshot["dispatch.crashes"] == 2.0
+        assert snapshot["service.jobs_failed"] == 1.0
+        service.close()
+
+    def test_timeout_is_killed_and_retried_to_success(self, tmp_path):
+        service = ReconstructionService(
+            16, backend="vectorized", workers=1, dispatcher="process",
+            pilot_problem=PILOT, dispatch_timeout_seconds=2.0,
+            dispatch_max_retries=2,
+            fault_injection={"stuck": {"sleep_seconds": 30.0,
+                                       "sleep_attempts": [1]}},
+        )
+        stuck = make_job(job_id="stuck", dataset_id="ds-t")
+        service.submit(stuck)
+        service.run_until_idle()
+        assert stuck.state is JobState.COMPLETED  # retry succeeded
+        assert stuck.execution_attempts == 2
+        assert service.dispatcher.timeouts == 1
+        assert service.dispatcher.retries == 1
+        service.close()
+
+    def test_exhausted_timeouts_fail_the_job_not_the_service(self, tmp_path):
+        service = ReconstructionService(
+            16, backend="vectorized", workers=1, dispatcher="process",
+            pilot_problem=PILOT, dispatch_timeout_seconds=1.0,
+            dispatch_max_retries=0,
+            fault_injection={"wedged": {"sleep_seconds": 30.0}},
+        )
+        wedged = make_job(job_id="wedged", dataset_id="ds-w")
+        after = make_job(job_id="after", dataset_id="ds-a")
+        service.submit(wedged)
+        service.submit(after)
+        service.run_until_idle()  # must return, not hang
+        assert wedged.state is JobState.FAILED
+        assert "timed out" in wedged.failure_reason
+        assert after.state is JobState.COMPLETED
+        service.close()
+
+    def test_pilot_exception_is_retried(self, tmp_path):
+        dispatcher = ProcessDispatcher(
+            1, backend="vectorized", pilot_problem=PILOT,
+            fault_injection={"flaky": {"raise_attempts": [1]}},
+        )
+        from repro.service import AllocationPlan, Placement
+
+        job = make_job(job_id="flaky", dataset_id="ds-f")
+        plan = AllocationPlan(gpus=1, rows=1, columns=1,
+                              runtime_seconds=1.0, cache_hit=False)
+        dispatcher.dispatch([Placement(job=job, plan=plan, start_seconds=0.0)])
+        failures = dispatcher.drain()
+        assert failures == []
+        assert job.execution_attempts == 2
+        assert dispatcher.retries == 1
+        dispatcher.close()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front door
+# --------------------------------------------------------------------------- #
+def _post(url: str, body: bytes) -> dict:
+    request = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read())
+
+
+class TestHTTPFrontDoor:
+    @pytest.fixture()
+    def front(self):
+        service = ReconstructionService(16, backend="vectorized")
+        server = ServiceHTTPServer(service, auto_advance=True)
+        server.start()
+        yield server
+        server.stop()
+        service.close()
+
+    def test_submit_plan_and_poll_job(self, front):
+        base = f"http://127.0.0.1:{front.port}"
+        plan = plan_for_problem(
+            problem_from_string(SMALL), target="service", backend="vectorized"
+        )
+        record = _post(base + "/plans?dataset=ds-http",
+                       plan.to_json().encode("utf-8"))
+        assert record["state"] == "completed"  # auto-advance drained it
+        assert record["dataset"] == "ds-http"
+        fetched = _get(base + f"/jobs/{record['job_id']}")
+        assert fetched["state"] == "completed"
+        assert fetched["latency_s"] is not None
+        everything = _get(base + "/jobs")
+        assert len(everything["jobs"]) == 1
+        metrics = _get(base + "/metrics")
+        assert metrics["summary"]["jobs_completed"] == 1.0
+
+    def test_scenario_mix_load(self, front):
+        base = f"http://127.0.0.1:{front.port}"
+        problem = problem_from_string(SMALL)
+        mix = ["full_scan", "short_scan", "sparse_view", "full_scan"]
+        for index, scenario in enumerate(mix):
+            plan = plan_for_problem(
+                problem, target="service", backend="vectorized",
+                scenario=scenario, tenant=f"tenant-{index % 2}",
+            )
+            record = _post(base + f"/plans?dataset=ds-{scenario}",
+                           plan.to_json().encode("utf-8"))
+            assert record["state"] == "completed"
+        summary = _get(base + "/metrics")["summary"]
+        assert summary["jobs_completed"] == float(len(mix))
+        assert summary["scenario[full_scan]_jobs"] == 2.0
+        assert summary["scenario[short_scan]_jobs"] == 1.0
+        # Per-tenant tails surfaced for the mix.
+        assert summary["tenant[tenant-0]_jobs"] == 2.0
+        assert "tenant[tenant-1]_p99_s" in summary
+        # Same dataset+filter identity resubmitted: cache hit on placement.
+        assert summary["cache_hits"] >= 1.0
+
+    def test_malformed_plan_is_a_400(self, front):
+        base = f"http://127.0.0.1:{front.port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base + "/plans", b'{"not_a_field": 1}')
+        assert excinfo.value.code == 400
+        assert "unknown plan field" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_job_is_a_404(self, front):
+        base = f"http://127.0.0.1:{front.port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/jobs/never-submitted")
+        assert excinfo.value.code == 404
+
+    def test_explicit_advance_endpoint(self):
+        service = ReconstructionService(16, backend="vectorized")
+        server = ServiceHTTPServer(service, auto_advance=False)
+        server.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            plan = plan_for_problem(
+                problem_from_string(SMALL), target="service",
+                backend="vectorized",
+            )
+            record = _post(base + "/plans", plan.to_json().encode("utf-8"))
+            assert record["state"] == "queued"  # nothing advanced yet
+            _post(base + "/advance", b"")
+            fetched = _get(base + f"/jobs/{record['job_id']}")
+            assert fetched["state"] == "completed"
+        finally:
+            server.stop()
+            service.close()
+
+
+@pytest.mark.slow
+class TestHTTPKillAndRecover:
+    def test_http_service_killed_mid_queue_recovers_over_http(self, tmp_path):
+        """End-to-end: start `repro serve --http`, submit over HTTP, SIGKILL
+        the server mid-queue, restart on the same state dir, and observe the
+        queued jobs complete — with the cache warm across the restart."""
+        state = tmp_path / "state"
+        cache = tmp_path / "cache"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        args = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--http", "0", "--backend", "vectorized",
+            "--state-dir", str(state), "--cache-dir", str(cache),
+        ]
+
+        def start_server():
+            proc = subprocess.Popen(
+                args, env=env, stdout=subprocess.PIPE, text=True
+            )
+            line = proc.stdout.readline()
+            assert "serving on http://" in line, line
+            return proc, line.strip().rsplit(":", 1)[1]
+
+        proc, port = start_server()
+        try:
+            plan = plan_for_problem(
+                problem_from_string(SMALL), target="service",
+                backend="vectorized",
+            )
+            submitted = []
+            for index in range(3):
+                record = _post(
+                    f"http://127.0.0.1:{port}/plans?dataset=ds-kill",
+                    plan.to_json().encode("utf-8"),
+                )
+                submitted.append(record["job_id"])
+        finally:
+            proc.kill()  # SIGKILL: no atexit, no journal flush beyond appends
+            proc.wait(timeout=30)
+
+        proc, port = start_server()
+        try:
+            base = f"http://127.0.0.1:{port}"
+            jobs = _get(base + "/jobs")["jobs"]
+            recovered_ids = {job["job_id"] for job in jobs}
+            assert set(submitted) <= recovered_ids
+            assert len(jobs) == len(submitted)  # no duplicates
+            _post(base + "/advance", b"")
+            summary = _get(base + "/metrics")["summary"]
+            assert summary["jobs_completed"] == float(len(submitted))
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
