@@ -78,21 +78,26 @@ class ServiceMetrics:
             raise ValueError(f"job {job.job_id} is {job.state.value}, not rejected")
         self.rejected.append(job)
 
-    def record_failure(self, job: ReconstructionJob) -> None:
+    def record_failure(self, job: ReconstructionJob) -> bool:
         """Record a job whose real execution failed (crash/timeout).
 
         The simulated event loop may already have counted the job as
         completed — the pilot verdict arrives when the dispatcher drains,
         after the discrete clock moved on — so a failed job is *removed*
-        from the completed list: one job, one outcome.
+        from the completed list: one job, one outcome.  Returns ``True``
+        when a completion was overturned this way, so callers keeping
+        monotonic completion counters (e.g. the obs registry) can count
+        the demotion separately.
         """
         if job.state is not JobState.FAILED:
             raise ValueError(f"job {job.job_id} is {job.state.value}, not failed")
+        demoted = True
         try:
             self.completed.remove(job)
         except ValueError:
-            pass
+            demoted = False
         self.failed.append(job)
+        return demoted
 
     def sample_queue_depth(self, now: float, depth: int) -> None:
         self.queue_samples.append(QueueSample(time_seconds=now, depth=depth))

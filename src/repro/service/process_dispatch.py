@@ -441,17 +441,24 @@ class ProcessDispatcher:
     def _rebuild_pool(self, queue: List[_Pending], *, width: int) -> None:
         """Kill the pool, restart at ``width``, resubmit collateral entries.
 
-        Entries whose futures already resolved keep their results; everything
-        else was lost with the old pool and is resubmitted on the new one at
-        the same attempt number (a pool rebuild is not the job's fault).
+        Entries whose futures already resolved keep their outcome — a result
+        *or* the pilot's own exception, which ``_await`` routes through
+        ``_retry_or_fail`` without re-running the pilot (re-execution would
+        duplicate side effects at the same attempt number).  Only entries
+        the old pool took down with it — never started, cancelled, or
+        resolved to the pool's own ``BrokenExecutor`` — are resubmitted on
+        the new one at the same attempt number (a pool rebuild is not the
+        job's fault).
         """
         self._teardown_pool()
         self._width = max(1, int(width))
         executor = self._ensure()
         for entry in queue:
             future = entry.future
-            if future is not None and future.done() and future.exception() is None:
-                continue
+            if future is not None and future.done() and not future.cancelled():
+                exception = future.exception()
+                if exception is None or not isinstance(exception, BrokenExecutor):
+                    continue
             entry.submitted = time.perf_counter()
             entry.future = executor.submit(_pilot_execute, entry.payload)
 

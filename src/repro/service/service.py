@@ -225,10 +225,16 @@ class ReconstructionService:
 
     def _on_pilot_failed(self, job: ReconstructionJob) -> None:
         with self._lock:
-            self.metrics.record_failure(job)
+            demoted = self.metrics.record_failure(job)
             if self.store is not None:
                 self.store.record_failed(job)
             self.obs.counter("service.jobs_failed").inc()
+            if demoted:
+                # Obs counters are monotonic, so `service.jobs_completed`
+                # (completions *observed*) cannot be walked back; this
+                # counter reconciles it with summary()["jobs_completed"]:
+                # current completions = observed - overturned.
+                self.obs.counter("service.completions_overturned").inc()
 
     def _on_pilot_retry(self, job: ReconstructionJob, reason: str) -> None:
         self.obs.counter("dispatch.retries").inc()
@@ -365,6 +371,9 @@ class ReconstructionService:
             self.metrics.record_completion(job)
             if self.store is not None:
                 self.store.record_completed(job)
+            # Completions *observed* at simulated completion time; a late
+            # pilot failure may overturn one (counted separately as
+            # `service.completions_overturned` — counters never decrease).
             self.obs.counter("service.jobs_completed").inc()
             if job.latency_seconds is not None:
                 self.obs.histogram("service.latency_seconds").observe(
@@ -487,26 +496,34 @@ class ReconstructionService:
 
     # ------------------------------------------------------------------ #
     def report(self, description: str = "") -> ServiceReport:
-        """Current metrics as a :class:`ServiceReport`."""
-        dispatcher = self.dispatcher
-        if isinstance(dispatcher, ProcessDispatcher):
-            # Dispatcher counters are the source of truth for fault
-            # accounting; fold them into the metrics window at read time.
-            self.metrics.dispatch_retries = dispatcher.retries
-            self.metrics.dispatch_timeouts = dispatcher.timeouts
-            self.metrics.dispatch_crashes = dispatcher.crashes
-        summary = self.metrics.summary(
-            cache=self.cache, cluster_gpus=self.cluster.total_gpus
-        )
-        jobs = sorted(
-            self.metrics.completed + self.metrics.rejected + self.metrics.failed,
-            key=lambda j: (j.arrival_seconds, j.sequence),
-        )
+        """Current metrics as a :class:`ServiceReport`.
+
+        Runs under the service lock (reentrant, so the event loop may call
+        it too): ``GET /metrics`` executes on HTTP handler threads while
+        ``POST /advance`` mutates the metrics lists, and an unlocked
+        snapshot would tear mid-update.
+        """
+        with self._lock:
+            dispatcher = self.dispatcher
+            if isinstance(dispatcher, ProcessDispatcher):
+                # Dispatcher counters are the source of truth for fault
+                # accounting; fold them into the metrics window at read time.
+                self.metrics.dispatch_retries = dispatcher.retries
+                self.metrics.dispatch_timeouts = dispatcher.timeouts
+                self.metrics.dispatch_crashes = dispatcher.crashes
+            summary = self.metrics.summary(
+                cache=self.cache, cluster_gpus=self.cluster.total_gpus
+            )
+            jobs = sorted(
+                self.metrics.completed + self.metrics.rejected + self.metrics.failed,
+                key=lambda j: (j.arrival_seconds, j.sequence),
+            )
+            records = [job.as_record() for job in jobs]
         return ServiceReport(
             policy=self.policy,
             cluster_gpus=self.cluster.total_gpus,
             summary=summary,
-            jobs=[job.as_record() for job in jobs],
+            jobs=records,
             description=description,
             backend=self.backend,
         )

@@ -27,8 +27,10 @@ by its *last durable state*:
 Durability model: each append is flushed to the operating system, so the
 journal survives ``kill -9`` of the service process (a whole-machine crash
 can lose the tail — the last event, never the journal's integrity).  A
-torn final line from a mid-write kill is detected and ignored on replay;
-corruption anywhere else raises loudly.
+torn final line from a mid-write kill is detected and ignored on replay,
+and truncated away before the first new append — so a recovered service's
+own appends never merge onto the partial line and re-corrupt the journal.
+Corruption anywhere else raises loudly.
 """
 
 from __future__ import annotations
@@ -99,10 +101,44 @@ class JobStore:
         line = json.dumps(record, sort_keys=True)
         with self._lock:
             if self._handle is None:
+                self._repair_torn_tail()
                 self._handle = self.journal_path.open("a", encoding="utf-8")
             self._handle.write(line + "\n")
             self._handle.flush()
             self.events_appended += 1
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial final line left by a mid-write ``kill -9``.
+
+        Appending onto a torn tail would merge the new record into the
+        partial line — the next replay would then either drop it as the
+        torn tail or, once more events follow, refuse the whole journal as
+        corrupt.  Called under the lock before the append handle opens.
+        """
+        try:
+            with self.journal_path.open("rb+") as handle:
+                size = handle.seek(0, 2)
+                if size == 0:
+                    return
+                handle.seek(size - 1)
+                if handle.read(1) == b"\n":
+                    return
+                # Scan backwards for the last newline; everything after it
+                # is the torn record, which replay would discard anyway.
+                keep = 0
+                position = size
+                while position > 0:
+                    step = min(4096, position)
+                    handle.seek(position - step)
+                    chunk = handle.read(step)
+                    newline = chunk.rfind(b"\n")
+                    if newline != -1:
+                        keep = position - step + newline + 1
+                        break
+                    position -= step
+                handle.truncate(keep)
+        except FileNotFoundError:
+            return
 
     def record_submitted(self, job: ReconstructionJob) -> None:
         self.append("submitted", job.job_id, job=job.to_payload())

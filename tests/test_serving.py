@@ -201,6 +201,44 @@ class TestJobStore:
         recovered = JobStore(tmp_path).recover()
         assert [j.job_id for j in recovered.pending] == ["ok"]
 
+    def test_append_after_torn_tail_truncates_not_merges(self, tmp_path):
+        # kill -9 mid-write, restart, journal more work, restart again: the
+        # recovered store must truncate the torn partial line before its
+        # first append — otherwise the new record merges onto the partial
+        # line and the second recovery either drops it as the "torn tail"
+        # or refuses the whole journal as corrupt.
+        store = JobStore(tmp_path)
+        job = make_job(job_id="ok")
+        store.record_submitted(job)
+        store.record_queued(job)
+        store.close()
+        with store.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "comp')  # killed mid-write
+
+        second = JobStore(tmp_path)
+        assert [j.job_id for j in second.recover().pending] == ["ok"]
+        new = make_job(job_id="new")
+        second.record_submitted(new)
+        second.record_queued(new)
+        second.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert {j.job_id for j in recovered.pending} == {"ok", "new"}
+
+    def test_torn_only_line_is_truncated_before_append(self, tmp_path):
+        # The torn line is the journal's *only* line: the first append of a
+        # fresh store must not fuse with it (pre-fix the merged line was
+        # the last line, so replay dropped the new submission entirely).
+        store = JobStore(tmp_path)
+        store.journal_path.write_text('{"event": "subm', encoding="utf-8")
+        job = make_job(job_id="fresh")
+        store.record_submitted(job)
+        store.record_queued(job)
+        store.close()
+
+        recovered = JobStore(tmp_path).recover()
+        assert [j.job_id for j in recovered.pending] == ["fresh"]
+
     def test_corruption_before_the_tail_raises(self, tmp_path):
         store = JobStore(tmp_path)
         job = make_job(job_id="ok")
@@ -372,6 +410,195 @@ class TestServiceRestartRecovery:
         service.run_until_idle()
         assert service.report().summary["jobs_completed"] == 4.0
         service.close()
+
+
+# --------------------------------------------------------------------------- #
+# Service accounting: overturned completions and concurrent reports
+# --------------------------------------------------------------------------- #
+class TestServiceAccounting:
+    def test_overturned_completion_reconciles_obs_counters(self):
+        # A late pilot failure demotes a completed job.  ServiceMetrics
+        # moves it completed -> failed; the monotonic obs counter
+        # `service.jobs_completed` (completions *observed*) cannot be
+        # walked back, so `service.completions_overturned` must record the
+        # demotion: observed - overturned == summary()["jobs_completed"].
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service = ReconstructionService(16, backend="vectorized", obs=registry)
+        job = make_job(job_id="late-fail", dataset_id="ds-o")
+        assert service.submit(job, now=0.0)
+        service.run_until_idle()
+        assert job.state is JobState.COMPLETED
+
+        job.mark_failed("pilot worker crashed (attempt 3)")
+        service._on_pilot_failed(job)
+
+        snapshot = service.obs_snapshot()
+        summary = service.report().summary
+        assert snapshot["service.jobs_completed"] == 1.0
+        assert snapshot["service.completions_overturned"] == 1.0
+        assert snapshot["service.jobs_failed"] == 1.0
+        assert summary["jobs_completed"] == 0.0
+        assert summary["jobs_failed"] == 1.0
+        assert (
+            snapshot["service.jobs_completed"]
+            - snapshot["service.completions_overturned"]
+            == summary["jobs_completed"]
+        )
+
+    def test_overturn_counter_untouched_for_never_completed_jobs(self):
+        # A job that failed without ever being counted completed (the
+        # common path) must not look like an overturned completion.
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service = ReconstructionService(16, backend="vectorized", obs=registry)
+        job = make_job(job_id="plain-fail", dataset_id="ds-p")
+        job.mark_failed("pilot timed out after 1.0s (attempt 1)")
+        service._on_pilot_failed(job)
+
+        snapshot = service.obs_snapshot()
+        assert snapshot["service.jobs_failed"] == 1.0
+        assert "service.completions_overturned" not in snapshot
+
+    def test_report_is_consistent_under_concurrent_submissions(self):
+        # GET /metrics runs report() on HTTP handler threads while the
+        # event loop mutates the metrics lists; report() must snapshot
+        # under the service lock, never tearing mid-update.
+        import threading
+
+        service = ReconstructionService(16, backend="vectorized")
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    report = service.report()
+                    # A torn snapshot shows jobs the summary missed (or
+                    # vice versa): every report must agree with itself.
+                    counted = (
+                        report.summary["jobs_completed"]
+                        + report.summary["jobs_rejected"]
+                        + report.summary["jobs_failed"]
+                    )
+                    if counted != float(len(report.jobs)):
+                        errors.append(
+                            f"summary counts {counted} but report carries "
+                            f"{len(report.jobs)} job records"
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+
+        reader = threading.Thread(target=hammer)
+        reader.start()
+        try:
+            for index in range(20):
+                job = make_job(job_id=f"conc-{index}", dataset_id="ds-c",
+                               arrival_seconds=float(index))
+                service.submit(job, now=job.arrival_seconds)
+                service.run_until_idle()
+        finally:
+            stop.set()
+            reader.join(timeout=30)
+        assert not errors, errors[:3]
+        assert service.report().summary["jobs_completed"] == 20.0
+
+
+# --------------------------------------------------------------------------- #
+# Process dispatcher: pool-rebuild bookkeeping (no real workers)
+# --------------------------------------------------------------------------- #
+class _FakeExecutor:
+    """Records submissions; returned futures stay unresolved."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, fn, payload):
+        from concurrent.futures import Future
+
+        self.submitted.append(payload)
+        return Future()
+
+
+class TestPoolRebuildBookkeeping:
+    def _entry(self, dispatcher, job_id, future):
+        from repro.service.process_dispatch import _Pending
+
+        job = make_job(job_id=job_id, dataset_id="ds-rb")
+        return _Pending(
+            job=job, payload=dispatcher._payload_for(job, 1), attempt=1,
+            submitted=0.0, parent=None, future=future,
+        )
+
+    def test_rebuild_keeps_resolved_outcomes_and_resubmits_the_lost(self):
+        # A rebuild triggered by one job's timeout/crash must not re-run
+        # collateral pilots that already resolved — a recorded result *or*
+        # a recorded exception is an outcome; re-executing it duplicates
+        # side effects at the same attempt number and bypasses retry
+        # accounting.  Only entries the dead pool took with it (never ran,
+        # cancelled, or resolved to the pool's own BrokenExecutor) go back.
+        from concurrent.futures import BrokenExecutor, Future
+
+        dispatcher = ProcessDispatcher(2, backend="vectorized",
+                                       pilot_problem=PILOT)
+        fake = _FakeExecutor()
+        dispatcher._ensure = lambda: fake
+        dispatcher._teardown_pool = lambda: None
+
+        done_ok = Future()
+        done_ok.set_result({"cache_hit": None, "filter_seconds": 0.0})
+        done_raised = Future()
+        done_raised.set_exception(RuntimeError("pilot raised"))
+        done_broken = Future()
+        done_broken.set_exception(BrokenExecutor("pool died"))
+        cancelled = Future()
+        cancelled.cancel()
+        never_ran = Future()
+
+        entries = {
+            "ok": self._entry(dispatcher, "ok", done_ok),
+            "raised": self._entry(dispatcher, "raised", done_raised),
+            "broken": self._entry(dispatcher, "broken", done_broken),
+            "cancelled": self._entry(dispatcher, "cancelled", cancelled),
+            "lost": self._entry(dispatcher, "lost", never_ran),
+        }
+        dispatcher._rebuild_pool(list(entries.values()), width=1)
+
+        assert entries["ok"].future is done_ok
+        assert entries["raised"].future is done_raised  # NOT re-run
+        assert entries["broken"].future is not done_broken
+        assert entries["cancelled"].future is not cancelled
+        assert entries["lost"].future is not never_ran
+        resubmitted = {payload["job_id"] for payload in fake.submitted}
+        assert resubmitted == {"broken", "cancelled", "lost"}
+
+    def test_kept_exception_routes_through_retry_accounting(self):
+        # The kept pilot exception must reach _retry_or_fail via _await:
+        # attempt 2 is scheduled and the retry counter moves — instead of
+        # the pre-fix silent re-execution at attempt 1.
+        from concurrent.futures import Future
+
+        dispatcher = ProcessDispatcher(2, backend="vectorized",
+                                       pilot_problem=PILOT,
+                                       retry_backoff_seconds=0.0)
+        fake = _FakeExecutor()
+        dispatcher._ensure = lambda: fake
+        dispatcher._teardown_pool = lambda: None
+
+        done_raised = Future()
+        done_raised.set_exception(RuntimeError("pilot raised"))
+        entry = self._entry(dispatcher, "raised", done_raised)
+        dispatcher._rebuild_pool([entry], width=1)
+        assert fake.submitted == []  # nothing re-ran during the rebuild
+
+        queue, failed = [], []
+        dispatcher._await(entry, queue, failed)
+        assert failed == []
+        assert dispatcher.retries == 1
+        assert [pending.attempt for pending in queue] == [2]
+        assert [payload["attempt"] for payload in fake.submitted] == [2]
 
 
 # --------------------------------------------------------------------------- #
