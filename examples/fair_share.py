@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fair-share scheduling: one aggressive tenant cannot starve another.
+
+Two tenants share a 16-GPU reconstruction service.  The *aggressor*
+submits ten times the *victim's* load.  Under naive FIFO the victim's
+jobs wait behind the aggressor's entire backlog; with the weighted
+fair-share queue (deficit round-robin across per-tenant subqueues, plus
+starvation aging) the victim's small flow is interleaved at its share and
+its tail latency collapses.
+
+The same knobs on the command line::
+
+    repro serve --trace skewed.json --tenant-weights victim=1,aggressor=1 \
+                --max-tenant-depth 64 --aging-seconds 300
+
+and over HTTP the per-tenant depth quota surfaces as ``429 Too Many
+Requests`` with a ``Retry-After`` hint (see ``repro.service.http``).
+
+Run:  python examples/fair_share.py
+"""
+
+from __future__ import annotations
+
+from repro.service import AdmissionPolicy, ReconstructionService, synthetic_trace
+
+CLUSTER_GPUS = 16
+N_JOBS = 400
+
+
+def replay(label: str, policy: str, admission: AdmissionPolicy) -> dict:
+    trace = synthetic_trace(
+        N_JOBS,
+        cluster_gpus=CLUSTER_GPUS,
+        seed=0,
+        heavy_fraction=0.0,
+        mean_interarrival_seconds=0.25,
+        tenant_mix={"aggressor": 10.0, "victim": 1.0},
+    )
+    service = ReconstructionService(CLUSTER_GPUS, policy=policy, admission=admission)
+    summary = service.replay(trace).summary
+    print(f"\n{label}")
+    for key in ("tenant[victim]_p99_s", "tenant[aggressor]_p99_s",
+                "latency_p99_s", "slo_attainment"):
+        print(f"  {key:>28s} = {summary[key]:10.2f}")
+    if "fairness_index" in summary:
+        print(f"  {'fairness_index':>28s} = {summary['fairness_index']:10.3f}")
+    return summary
+
+
+def main() -> None:
+    deep = dict(max_depth=N_JOBS + 1)
+    fifo = replay("naive FIFO", "fifo", AdmissionPolicy(**deep))
+    fair = replay(
+        "weighted fair-share (DRR + aging)",
+        "slo",
+        AdmissionPolicy(**deep, fair_share=True, aging_seconds=600.0),
+    )
+    speedup = fifo["tenant[victim]_p99_s"] / fair["tenant[victim]_p99_s"]
+    print(f"\nvictim p99 improvement under fair-share: {speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

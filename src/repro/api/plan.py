@@ -243,6 +243,12 @@ class ReconstructionPlan:
     cluster_gpus, tenant, priority, slo_seconds:
         Service-target quality-of-service description, mapped onto the
         submitted :class:`~repro.service.job.ReconstructionJob`.
+    tenant_weight, max_inflight:
+        Fair-share hints for the ``service`` target: the submitting
+        tenant's scheduling weight and in-flight job cap, adopted by the
+        service's :class:`~repro.service.fairness.FairShareQueue` for
+        tenants the operator's :class:`~repro.service.queue.AdmissionPolicy`
+        does not configure explicitly (operator settings always win).
     streaming, chunk_size, memory_budget_bytes:
         Chunked execution on the ``fdk`` target: ``streaming=True`` routes
         :meth:`Session.run` through the
@@ -271,6 +277,8 @@ class ReconstructionPlan:
     tenant: str = "default"
     priority: int = 1
     slo_seconds: Optional[float] = None
+    tenant_weight: Optional[float] = None
+    max_inflight: Optional[int] = None
     streaming: bool = False
     chunk_size: Optional[int] = None
     memory_budget_bytes: Optional[int] = None
@@ -339,6 +347,7 @@ class ReconstructionPlan:
         # and then break the lossless round-trip (2.5 -> 2 silently).
         for name, minimum in (("workers", 1), ("rows", 1), ("columns", 1),
                               ("cluster_gpus", 1), ("priority", 0),
+                              ("max_inflight", 1),
                               ("chunk_size", 1), ("memory_budget_bytes", 1)):
             value = getattr(self, name)
             if value is None:
@@ -384,7 +393,7 @@ class ReconstructionPlan:
             defaults = {
                 f.name: f.default for f in dataclasses.fields(self)
                 if f.name in ("cluster_gpus", "tenant", "priority",
-                              "slo_seconds")
+                              "slo_seconds", "tenant_weight", "max_inflight")
             }
             off_target = sorted(
                 name for name, default in defaults.items()
@@ -400,6 +409,15 @@ class ReconstructionPlan:
         ):
             raise ValueError(
                 "slo_seconds must be a positive finite number when given"
+            )
+        if self.tenant_weight is not None and not (
+            isinstance(self.tenant_weight, (int, float))
+            and not isinstance(self.tenant_weight, bool)
+            and math.isfinite(self.tenant_weight)
+            and self.tenant_weight > 0
+        ):
+            raise ValueError(
+                "tenant_weight must be a positive finite number when given"
             )
         if not isinstance(self.streaming, bool):
             raise ValueError(
@@ -460,6 +478,12 @@ class ReconstructionPlan:
             "slo_seconds": (
                 None if self.slo_seconds is None else float(self.slo_seconds)
             ),
+            "tenant_weight": (
+                None if self.tenant_weight is None else float(self.tenant_weight)
+            ),
+            "max_inflight": (
+                None if self.max_inflight is None else int(self.max_inflight)
+            ),
             "streaming": bool(self.streaming),
             "chunk_size": (
                 None if self.chunk_size is None else int(self.chunk_size)
@@ -485,6 +509,7 @@ class ReconstructionPlan:
             "version", "geometry", "target", "scenario", "backend",
             "workers", "dtype", "ramp_filter", "algorithm", "rows",
             "columns", "cluster_gpus", "tenant", "priority", "slo_seconds",
+            "tenant_weight", "max_inflight",
             "streaming", "chunk_size", "memory_budget_bytes",
         }
         unknown = sorted(set(payload) - known)
@@ -504,6 +529,7 @@ class ReconstructionPlan:
             return None if value is None else _as_int(name, value)
 
         slo = payload.get("slo_seconds")
+        weight = payload.get("tenant_weight")
         streaming = payload.get("streaming", False)
         if not isinstance(streaming, bool):
             raise ValueError(
@@ -524,6 +550,10 @@ class ReconstructionPlan:
             tenant=str(payload.get("tenant", "default")),
             priority=_as_int("priority", payload.get("priority", 1)),
             slo_seconds=None if slo is None else _as_float("slo_seconds", slo),
+            tenant_weight=(
+                None if weight is None else _as_float("tenant_weight", weight)
+            ),
+            max_inflight=opt_int("max_inflight"),
             streaming=streaming,
             chunk_size=opt_int("chunk_size"),
             memory_budget_bytes=opt_int("memory_budget_bytes"),
@@ -633,6 +663,10 @@ class ReconstructionPlan:
                 priority=self.priority,
                 slo_seconds=self.slo_seconds,
             )
+            if self.tenant_weight is not None:
+                summary["tenant_weight"] = self.tenant_weight
+            if self.max_inflight is not None:
+                summary["max_inflight"] = self.max_inflight
         return summary
 
 

@@ -367,6 +367,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", choices=("slo", "fifo"), default="slo",
                        help="scheduling policy (default: %(default)s)")
     serve.add_argument("--max-queue-depth", type=int, default=256)
+    serve.add_argument("--tenant-weights", default=None,
+                       metavar="NAME=W[,NAME=W...]",
+                       help="fair-share scheduling weights per tenant, e.g. "
+                            "'hospital-a=3,hospital-b=1' (enables the "
+                            "weighted fair queue; unlisted tenants get "
+                            "weight 1)")
+    serve.add_argument("--max-inflight-per-tenant", type=int, default=None,
+                       metavar="N",
+                       help="cap concurrently running jobs per tenant "
+                            "(fair-share throttling, never rejection)")
+    serve.add_argument("--max-tenant-depth", type=int, default=None,
+                       metavar="N",
+                       help="cap queued jobs per tenant; excess submissions "
+                            "are rejected with a Retry-After hint (HTTP 429)")
+    serve.add_argument("--aging-seconds", type=float, default=None,
+                       metavar="S",
+                       help="starvation aging: a tenant's oldest waiting job "
+                            "jumps the fair-share order after waiting this "
+                            "long")
     serve.add_argument("--dispatcher", choices=("thread", "process"),
                        default="thread",
                        help="pilot executor: 'thread' (in-process pool) or "
@@ -457,6 +476,31 @@ def _parse_scenario_mix(spec: Optional[str]):
     if not mix:
         raise ValueError("scenario mix is empty")
     return mix
+
+
+def _parse_tenant_weights(spec: Optional[str]):
+    """Parse ``tenant=weight,...`` into a dict (None passes through).
+
+    Unlike scenario mixes there is no registry to check names against —
+    tenants are free-form — but weights must be positive numbers (the
+    AdmissionPolicy re-validates on construction).
+    """
+    if spec is None:
+        return None
+    weights = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        if not name.strip() or not weight:
+            raise ValueError(
+                f"tenant weight entry {part!r} must look like tenant=weight"
+            )
+        weights[name.strip()] = float(weight)
+    if not weights:
+        raise ValueError("tenant weights spec is empty")
+    return weights
 
 
 _MODE_BY_TARGET = {"fdk": "single-node", "ifdk": "distributed", "service": "service"}
@@ -654,10 +698,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     gpus = args.gpus or (trace.cluster_gpus if trace is not None else 16)
     tracer = _tracer_for(args)
     durable = args.state_dir is not None or args.cache_dir is not None
+    admission = AdmissionPolicy(
+        max_depth=args.max_queue_depth,
+        tenant_weights=_parse_tenant_weights(args.tenant_weights),
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        max_queue_depth_per_tenant=args.max_tenant_depth,
+        aging_seconds=args.aging_seconds,
+    )
     with ReconstructionService(
         gpus,
         policy=args.policy,
-        admission=AdmissionPolicy(max_depth=args.max_queue_depth),
+        admission=admission,
         backend=args.backend or DEFAULT_BACKEND,
         workers=workers or 0,
         dispatcher=args.dispatcher,

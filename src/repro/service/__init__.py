@@ -22,6 +22,7 @@ HTTP/JSON, speaking :class:`~repro.api.ReconstructionPlan`.
 from .cache import CacheKey, CacheStatistics, FilteredProjectionCache, fingerprint_stack
 from .diskcache import OnDiskFilteredCache
 from .dispatch import DEFAULT_PILOT_PROBLEM, BatchedDispatcher
+from .fairness import FairShareQueue, jains_index
 from .http import ServiceHTTPServer
 from .job import JobState, ReconstructionJob, job_sort_key
 from .metrics import QueueSample, ServiceMetrics, percentile
@@ -46,6 +47,7 @@ __all__ = [
     "CacheStatistics",
     "DEFAULT_PILOT_PROBLEM",
     "ClusterScheduler",
+    "FairShareQueue",
     "FilteredProjectionCache",
     "GPUCluster",
     "JobQueue",
@@ -64,6 +66,7 @@ __all__ = [
     "ServiceReport",
     "TraceEntry",
     "fingerprint_stack",
+    "jains_index",
     "job_sort_key",
     "model_runtime_estimator",
     "percentile",

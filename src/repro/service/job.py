@@ -88,6 +88,12 @@ class ReconstructionJob:
     arrival_seconds: float = 0.0
     ramp_filter: str = "ram-lak"
     scenario: str = "full_scan"
+    # Fair-share QoS overrides carried from the submitting plan: the
+    # tenant's scheduling weight and in-flight quota.  Only consulted when
+    # the service runs a FairShareQueue, and only for tenants the service's
+    # own AdmissionPolicy does not already configure (operator wins).
+    tenant_weight: Optional[float] = None
+    max_inflight: Optional[int] = None
     job_id: str = ""
     # Canonical identity of the plan this job was derived from (see
     # ReconstructionJob.from_plan); empty for hand-built or trace jobs.
@@ -124,6 +130,10 @@ class ReconstructionJob:
     # crashes/timeouts increment this past 1).
     execution_attempts: int = 0
     failure_reason: Optional[str] = None
+    # Backpressure hint attached to quota/backlog rejections: how long the
+    # tenant should wait before resubmitting (drives HTTP 429 Retry-After).
+    # ``None`` for admitted jobs and for never-feasible rejections.
+    retry_after_seconds: Optional[float] = None
     sequence: int = field(default_factory=lambda: next(_job_counter))
 
     def __post_init__(self) -> None:
@@ -137,6 +147,10 @@ class ReconstructionJob:
             raise ValueError("arrival_seconds must be non-negative")
         if not self.scenario:
             raise ValueError("scenario must be a non-empty preset name")
+        if self.tenant_weight is not None and not self.tenant_weight > 0:
+            raise ValueError("tenant_weight must be positive when given")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be a positive integer when given")
         if not self.job_id:
             self.job_id = f"job-{self.sequence:04d}"
         if not self.dataset_id:
@@ -176,6 +190,8 @@ class ReconstructionJob:
             arrival_seconds=arrival_seconds,
             ramp_filter=plan.ramp_filter,
             scenario=plan.scenario,
+            tenant_weight=plan.tenant_weight,
+            max_inflight=plan.max_inflight,
             job_id=job_id,
             plan_key=plan.key(),
         )
@@ -260,9 +276,15 @@ class ReconstructionJob:
         self.executed_finish_seconds = finish
         self.workers = int(workers)
 
-    def mark_rejected(self, reason: str) -> None:
+    def mark_rejected(
+        self, reason: str, *, retry_after_seconds: Optional[float] = None
+    ) -> None:
+        """Reject the job; ``retry_after_seconds`` marks a *transient*
+        rejection (quota/backlog backpressure — "try later"), as opposed to
+        a never-feasible one."""
         self.state = JobState.REJECTED
         self.rejection_reason = reason
+        self.retry_after_seconds = retry_after_seconds
 
     def mark_failed(self, reason: str) -> None:
         """Fail the job loudly (pilot crash, timeout, exhausted retries)."""
@@ -287,6 +309,8 @@ class ReconstructionJob:
             "arrival_seconds": self.arrival_seconds,
             "ramp_filter": self.ramp_filter,
             "scenario": self.scenario,
+            "tenant_weight": self.tenant_weight,
+            "max_inflight": self.max_inflight,
             "plan_key": self.plan_key,
             "acquisition": self.acquisition,
             "backend": self.backend,
@@ -309,6 +333,14 @@ class ReconstructionJob:
                 arrival_seconds=float(payload.get("arrival_seconds", 0.0)),
                 ramp_filter=str(payload.get("ramp_filter", "ram-lak")),
                 scenario=str(payload.get("scenario", "full_scan")),
+                tenant_weight=(
+                    None if payload.get("tenant_weight") is None
+                    else float(payload["tenant_weight"])
+                ),
+                max_inflight=(
+                    None if payload.get("max_inflight") is None
+                    else int(payload["max_inflight"])
+                ),
                 job_id=str(payload["job_id"]),
                 plan_key=str(payload.get("plan_key", "")),
                 acquisition=str(payload.get("acquisition", "")),
@@ -351,6 +383,7 @@ class ReconstructionJob:
             "pilot_cache_hit": self.pilot_cache_hit,
             "execution_attempts": self.execution_attempts,
             "rejection_reason": self.rejection_reason,
+            "retry_after_s": self.retry_after_seconds,
             "failure_reason": self.failure_reason,
         }
 

@@ -22,18 +22,24 @@ service operator watches:
   same summary operators already read;
 * per-tenant tails — p99 latency and job count per tenant, because a
   multi-tenant service's aggregate p99 hides exactly the tenant being
-  starved.
+  starved;
+* fairness — per-tenant quota rejections (the HTTP 429 backpressure
+  path), each tenant's share of the placed service seconds and a Jain's
+  fairness index over weight-normalized service, emitted when the service
+  runs the :class:`~repro.service.fairness.FairShareQueue` (the
+  ``tenant_weights`` argument of :meth:`ServiceMetrics.summary`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 from .cache import FilteredProjectionCache
 from .job import JobState, ReconstructionJob
+from .queue import QUOTA_REJECTION_PREFIX
 
 __all__ = ["QueueSample", "ServiceMetrics", "percentile"]
 
@@ -125,6 +131,24 @@ class ServiceMetrics:
         return grouped
 
     @property
+    def quota_rejections(self) -> Dict[str, int]:
+        """Per-tenant fair-share quota rejections (the 429 backpressure path)."""
+        counts: Dict[str, int] = {}
+        for job in self.rejected:
+            reason = job.rejection_reason or ""
+            if reason.startswith(QUOTA_REJECTION_PREFIX):
+                counts[job.tenant] = counts.get(job.tenant, 0) + 1
+        return counts
+
+    def tenant_service_seconds(self) -> Dict[str, float]:
+        """Busy GPU-seconds per tenant across completed jobs."""
+        grouped: Dict[str, float] = {}
+        for job in self.completed:
+            seconds = (job.runtime_seconds or 0.0) * (job.gpus or 0)
+            grouped[job.tenant] = grouped.get(job.tenant, 0.0) + seconds
+        return grouped
+
+    @property
     def makespan_seconds(self) -> float:
         """First arrival to last completion across the replayed workload."""
         if not self.completed:
@@ -138,6 +162,7 @@ class ServiceMetrics:
         *,
         cache: Optional[FilteredProjectionCache] = None,
         cluster_gpus: Optional[int] = None,
+        tenant_weights: Optional[Mapping[str, float]] = None,
     ) -> Dict[str, float]:
         """Reduce everything recorded so far to a flat KPI dictionary."""
         latencies = self.latencies
@@ -206,6 +231,32 @@ class ServiceMetrics:
         for tenant, latencies_t in sorted(self.tenant_latencies.items()):
             out[f"tenant[{tenant}]_jobs"] = float(len(latencies_t))
             out[f"tenant[{tenant}]_p99_s"] = percentile(latencies_t, 99.0)
+        # Quota rejections ride along whenever the fair-share layer
+        # rejected anything, keeping non-fair report shapes exact.
+        quota = self.quota_rejections
+        if quota:
+            out["quota_rejections"] = float(sum(quota.values()))
+            for tenant, count in sorted(quota.items()):
+                out[f"tenant[{tenant}]_quota_rejections"] = float(count)
+        # Fairness KPIs are opt-in via tenant_weights (the service passes
+        # its FairShareQueue's resolved weights): each tenant's share of
+        # the placed service and Jain's index over weight-normalized
+        # service — 1.0 means every tenant got exactly its weighted share.
+        if tenant_weights is not None:
+            from .fairness import jains_index  # late: fairness imports queue
+
+            service = self.tenant_service_seconds()
+            total_service = sum(service.values())
+            normalized: List[float] = []
+            for tenant, seconds in sorted(service.items()):
+                if total_service > 0:
+                    out[f"tenant[{tenant}]_share_of_service"] = (
+                        seconds / total_service
+                    )
+                normalized.append(
+                    seconds / float(tenant_weights.get(tenant, 1.0))
+                )
+            out["fairness_index"] = jains_index(normalized)
         if cache is not None:
             out["cache_hit_rate"] = cache.stats.hit_rate
             out["cache_hits"] = float(cache.stats.hits)

@@ -22,11 +22,21 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence
 
 from .job import JobState, ReconstructionJob, job_sort_key
 
-__all__ = ["AdmissionPolicy", "JobQueue", "model_runtime_estimator"]
+__all__ = [
+    "AdmissionPolicy",
+    "JobQueue",
+    "QUOTA_REJECTION_PREFIX",
+    "model_runtime_estimator",
+]
+
+#: Rejection reasons carrying this prefix are per-tenant fair-share quota
+#: rejections: transient backpressure ("try later", HTTP 429), never a
+#: statement about feasibility.
+QUOTA_REJECTION_PREFIX = "tenant quota"
 
 
 def model_runtime_estimator(model=None) -> Callable[[ReconstructionJob], Optional[float]]:
@@ -60,16 +70,72 @@ def model_runtime_estimator(model=None) -> Callable[[ReconstructionJob], Optiona
 
 @dataclass(frozen=True)
 class AdmissionPolicy:
-    """Limits enforced when a job is offered to the queue."""
+    """Limits enforced when a job is offered to the queue.
+
+    The fair-share fields configure the
+    :class:`~repro.service.fairness.FairShareQueue` the service builds when
+    any of them is set (or ``fair_share=True`` forces it with defaults):
+
+    * ``tenant_weights`` — scheduling weight per tenant name; unlisted
+      tenants get ``default_tenant_weight``.  Weights are relative service
+      shares under contention (weight 2 gets twice the cluster seconds of
+      weight 1), enforced by deficit round-robin.
+    * ``max_inflight_per_tenant`` — at most this many of a tenant's jobs
+      may be running at once; excess stays queued (throttling, not
+      rejection).
+    * ``max_queue_depth_per_tenant`` — at most this many of a tenant's
+      jobs may *wait*; excess is rejected with a ``tenant quota`` reason
+      and a Retry-After hint (the HTTP 429 path).
+    * ``quantum_seconds`` — the DRR quantum: estimated service seconds a
+      tenant may spend per round-robin visit, scaled by its weight.
+    * ``aging_seconds`` — starvation bound: once a tenant's *oldest*
+      waiting job has waited this long, it jumps the fair-share order (one
+      job per tenant per cycle, so aging cannot undo fairness wholesale).
+    """
 
     max_depth: int = 256
     max_backlog_seconds: Optional[float] = None
+    fair_share: bool = False
+    tenant_weights: Optional[Mapping[str, float]] = None
+    default_tenant_weight: float = 1.0
+    max_inflight_per_tenant: Optional[int] = None
+    max_queue_depth_per_tenant: Optional[int] = None
+    quantum_seconds: float = 5.0
+    aging_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_depth <= 0:
             raise ValueError("max_depth must be positive")
         if self.max_backlog_seconds is not None and self.max_backlog_seconds <= 0:
             raise ValueError("max_backlog_seconds must be positive when given")
+        if self.tenant_weights is not None:
+            for tenant, weight in self.tenant_weights.items():
+                if not weight > 0:
+                    raise ValueError(
+                        f"tenant weight for {tenant!r} must be positive "
+                        f"(got {weight!r})"
+                    )
+        if not self.default_tenant_weight > 0:
+            raise ValueError("default_tenant_weight must be positive")
+        for name in ("max_inflight_per_tenant", "max_queue_depth_per_tenant"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be a positive integer when given")
+        if not self.quantum_seconds > 0:
+            raise ValueError("quantum_seconds must be positive")
+        if self.aging_seconds is not None and self.aging_seconds <= 0:
+            raise ValueError("aging_seconds must be positive when given")
+
+    @property
+    def fairness_enabled(self) -> bool:
+        """Whether any fair-share knob asks for a FairShareQueue."""
+        return bool(
+            self.fair_share
+            or self.tenant_weights is not None
+            or self.max_inflight_per_tenant is not None
+            or self.max_queue_depth_per_tenant is not None
+            or self.aging_seconds is not None
+        )
 
 
 class JobQueue:
@@ -105,6 +171,20 @@ class JobQueue:
         """Snapshot of the queue in scheduling order."""
         return sorted(self._jobs, key=job_sort_key)
 
+    def scheduling_order(
+        self, now: float, running: Sequence = ()
+    ) -> List[ReconstructionJob]:
+        """The order the scheduler should consider waiting jobs in.
+
+        The seam the fair-share layer plugs into: the base queue ignores
+        ``now`` and the running placements and returns the plain
+        ``(priority, deadline, FIFO)`` order;
+        :class:`~repro.service.fairness.FairShareQueue` overrides this with
+        deficit-round-robin across per-tenant subqueues, starvation aging
+        and in-flight quotas.
+        """
+        return self.ordered()
+
     def peek(self) -> Optional[ReconstructionJob]:
         """The job the scheduler should consider first (or ``None``)."""
         if not self._jobs:
@@ -127,8 +207,13 @@ class JobQueue:
         """
         self.offered += 1
         if len(self._jobs) >= self.policy.max_depth:
+            # Transient overload, not infeasibility: hint when a slot
+            # should free (the mean queued service time).
             job.mark_rejected(
-                f"queue full: depth {len(self._jobs)} at cap {self.policy.max_depth}"
+                f"queue full: depth {len(self._jobs)} at cap {self.policy.max_depth}",
+                retry_after_seconds=max(
+                    1.0, self.backlog_seconds / max(1, len(self._jobs))
+                ),
             )
             self.rejected += 1
             return False
@@ -148,7 +233,8 @@ class JobQueue:
                 backlog = self.backlog_seconds + job.estimated_seconds
                 if backlog > cap:
                     job.mark_rejected(
-                        f"backlog {backlog:.1f}s exceeds admission cap {cap:.1f}s"
+                        f"backlog {backlog:.1f}s exceeds admission cap {cap:.1f}s",
+                        retry_after_seconds=max(1.0, backlog - cap),
                     )
                     self.rejected += 1
                     return False

@@ -318,7 +318,10 @@ class ClusterScheduler:
         reservation_time = float("inf")
         spare_at_reservation = 0
 
-        for job in queue.ordered():
+        # The queue owns the consideration order: plain (priority,
+        # deadline, FIFO) for a JobQueue, weighted deficit-round-robin
+        # with quotas and aging for a FairShareQueue.
+        for job in queue.scheduling_order(now, running):
             free = self.cluster.free_gpus
             if free == 0:
                 break

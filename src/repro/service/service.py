@@ -40,6 +40,7 @@ from ..pipeline.perfmodel import IFDKPerformanceModel
 from .cache import CacheKey, FilteredProjectionCache
 from .diskcache import OnDiskFilteredCache
 from .dispatch import BatchedDispatcher
+from .fairness import FairShareQueue
 from .job import JobState, ReconstructionJob
 from .metrics import ServiceMetrics
 from .process_dispatch import ProcessDispatcher
@@ -156,12 +157,17 @@ class ReconstructionService:
             cache=self.cache,
             max_gpus_per_job=max_gpus_per_job,
         )
-        self.queue = JobQueue(admission)
         self.metrics = ServiceMetrics()
         # Lifetime instruments (queue waits, cache hits, scheduler cycles).
         # ServiceMetrics stays the source of truth for per-job KPI
         # reductions; the registry covers what per-job records cannot.
         self.obs = obs if obs is not None else NULL_METRICS
+        # Any fair-share knob on the admission policy upgrades the queue
+        # to weighted deficit-round-robin with quotas and aging.
+        if admission is not None and admission.fairness_enabled:
+            self.queue: JobQueue = FairShareQueue(admission, obs=self.obs)
+        else:
+            self.queue = JobQueue(admission)
         self._running: List[Placement] = []
         self._finish_heap: List = []  # (finish, sequence, Placement)
         self.clock_seconds = 0.0
@@ -511,8 +517,13 @@ class ReconstructionService:
                 self.metrics.dispatch_retries = dispatcher.retries
                 self.metrics.dispatch_timeouts = dispatcher.timeouts
                 self.metrics.dispatch_crashes = dispatcher.crashes
+            tenant_weights = (
+                self.queue.weights_snapshot()
+                if isinstance(self.queue, FairShareQueue) else None
+            )
             summary = self.metrics.summary(
-                cache=self.cache, cluster_gpus=self.cluster.total_gpus
+                cache=self.cache, cluster_gpus=self.cluster.total_gpus,
+                tenant_weights=tenant_weights,
             )
             jobs = sorted(
                 self.metrics.completed + self.metrics.rejected + self.metrics.failed,

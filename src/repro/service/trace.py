@@ -205,6 +205,7 @@ def synthetic_trace(
     interactive_slo_seconds: float = 25.0,
     heavy_slo_seconds: float = 90.0,
     scenario_mix: Optional[Dict[str, float]] = None,
+    tenant_mix: Optional[Dict[str, float]] = None,
 ) -> ArrivalTrace:
     """Generate a seeded multi-tenant arrival trace (deterministic per seed).
 
@@ -218,8 +219,12 @@ def synthetic_trace(
 
     ``scenario_mix`` optionally maps acquisition-scenario preset names to
     sampling weights (e.g. ``{"full_scan": 0.6, "short_scan": 0.4}``); by
-    default every job is a ``full_scan``.  Scenario draws use a *separate*
-    seeded stream, so enabling a mix changes nothing else about the trace.
+    default every job is a ``full_scan``.  ``tenant_mix`` optionally maps
+    tenant names to arrival weights (e.g. ``{"aggressor": 10.0,
+    "victim": 1.0}``) and replaces the uniform draw over ``n_tenants`` —
+    the skewed-load input of the fair-share benchmark.  Both mixes use
+    *separate* seeded streams, so enabling either changes nothing else
+    about the trace.
     """
     if n_jobs <= 0:
         raise ValueError("n_jobs must be positive")
@@ -237,7 +242,20 @@ def synthetic_trace(
         if total <= 0:
             raise ValueError("scenario_mix weights must sum to a positive value")
         scenario_weights = [w / total for w in scenario_weights]
+    tenant_names: List[str] = []
+    tenant_weights: List[float] = []
+    if tenant_mix:
+        for name, weight in tenant_mix.items():
+            if weight < 0:
+                raise ValueError(f"tenant weight for {name!r} must be >= 0")
+            tenant_names.append(str(name))
+            tenant_weights.append(float(weight))
+        total = sum(tenant_weights)
+        if total <= 0:
+            raise ValueError("tenant_mix weights must sum to a positive value")
+        tenant_weights = [w / total for w in tenant_weights]
     scenario_rng = np.random.default_rng(seed + 0x5C)
+    tenant_rng = np.random.default_rng(seed + 0x7E)
     rng = np.random.default_rng(seed)
     entries: List[TraceEntry] = []
     now = 0.0
@@ -259,10 +277,15 @@ def synthetic_trace(
             dataset = f"scan-ds-{int(rng.integers(n_datasets))}"
             priority = int(rng.integers(0, 2))
             slo = interactive_slo_seconds
+        # The uniform draw always happens so the main stream (arrivals,
+        # problems, datasets) is identical with and without a tenant_mix.
+        tenant = f"tenant-{int(rng.integers(n_tenants))}"
+        if tenant_names:
+            tenant = str(tenant_rng.choice(tenant_names, p=tenant_weights))
         entries.append(
             TraceEntry(
                 job_id=f"job-{index:04d}",
-                tenant=f"tenant-{int(rng.integers(n_tenants))}",
+                tenant=tenant,
                 arrival_seconds=round(now, 3),
                 problem=problem,
                 dataset_id=dataset,

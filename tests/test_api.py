@@ -47,7 +47,7 @@ GOLDEN_PLAN = Path(__file__).parent / "data" / "golden_plan.json"
 #: must be stable across processes, machines and Python versions: if this
 #: test fails, the plan hashing scheme changed and every persisted plan
 #: key (service cache identities, job records) silently rotated.
-GOLDEN_PLAN_KEY = "746888f1dbe10ecb"
+GOLDEN_PLAN_KEY = "71956b86874bea67"
 GOLDEN_PLAN_FILTER_KEY = "bd5d11dd272ac233"
 
 
@@ -91,6 +91,8 @@ class TestPlanSerialization:
             base.with_updates(workers=4),
             base.with_updates(target="service"),
             base.with_updates(priority=0),
+            base.with_updates(target="service", tenant_weight=2.0),
+            base.with_updates(target="service", max_inflight=2),
             base.with_updates(streaming=True),
             base.with_updates(streaming=True, chunk_size=4),
             base.with_updates(streaming=True, memory_budget_bytes=1 << 26),

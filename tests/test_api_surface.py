@@ -86,6 +86,7 @@ def test_plan_field_schema_is_pinned():
         "columns",
         "dtype",
         "geometry",
+        "max_inflight",
         "memory_budget_bytes",
         "priority",
         "ramp_filter",
@@ -95,6 +96,7 @@ def test_plan_field_schema_is_pinned():
         "streaming",
         "target",
         "tenant",
+        "tenant_weight",
         "workers",
     ]
 

@@ -12,9 +12,11 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import textwrap
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -25,7 +27,9 @@ import pytest
 from repro.api import plan_for_problem
 from repro.core.types import ProjectionStack, problem_from_string
 from repro.core import default_geometry_for_problem
+from repro.obs import MetricsRegistry
 from repro.service import (
+    AdmissionPolicy,
     CacheKey,
     JobState,
     JobStore,
@@ -806,6 +810,208 @@ class TestHTTPFrontDoor:
             fetched = _get(base + f"/jobs/{record['job_id']}")
             assert fetched["state"] == "completed"
         finally:
+            server.stop()
+            service.close()
+
+
+def _raw_request(port: int, payload: bytes) -> str:
+    """Send raw bytes and return the decoded response (error-path probes)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.settimeout(10)
+        chunks = []
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            chunks.append(data)
+        return b"".join(chunks).decode("utf-8", "replace")
+
+
+class TestHTTPErrorPaths:
+    """Regression tests for front-door crashes: each of these paths used to
+    kill the handler thread and reset the connection instead of answering."""
+
+    @pytest.fixture()
+    def observed(self):
+        service = ReconstructionService(
+            16, backend="vectorized", obs=MetricsRegistry()
+        )
+        server = ServiceHTTPServer(service, auto_advance=True)
+        server.start()
+        yield server
+        server.stop()
+        service.close()
+
+    def test_malformed_content_length_is_a_400(self, observed):
+        response = _raw_request(
+            observed.port,
+            b"POST /plans HTTP/1.1\r\nHost: t\r\nContent-Length: abc\r\n\r\n",
+        )
+        assert response.startswith("HTTP/1.0 400") or response.startswith(
+            "HTTP/1.1 400"
+        )
+        assert "malformed Content-Length" in response
+
+    def test_negative_content_length_is_a_400(self, observed):
+        response = _raw_request(
+            observed.port,
+            b"POST /plans HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert " 400 " in response.splitlines()[0]
+        assert "negative Content-Length" in response
+
+    def test_oversized_body_is_a_413_without_reading_it(self, observed):
+        huge = observed.max_body_bytes + 1
+        response = _raw_request(
+            observed.port,
+            f"POST /plans HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {huge}\r\n\r\n".encode(),
+        )
+        assert " 413 " in response.splitlines()[0]
+        assert "exceeds" in response
+
+    def test_internal_error_is_a_json_500_and_counted(self, observed):
+        service = observed.service
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("dispatcher wedged")
+
+        service.submit_plan = boom
+        plan = plan_for_problem(
+            problem_from_string(SMALL), target="service", backend="vectorized"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"http://127.0.0.1:{observed.port}/plans",
+                  plan.to_json().encode("utf-8"))
+        assert excinfo.value.code == 500
+        assert "dispatcher wedged" in json.loads(excinfo.value.read())["error"]
+        assert service.obs_snapshot()["service.http.errors"] == 1.0
+        # The handler thread survived: the next request still answers.
+        assert _get(f"http://127.0.0.1:{observed.port}/jobs") == {"jobs": []}
+
+    def test_client_disconnect_mid_response_is_swallowed_and_counted(self):
+        import types
+
+        from repro.service.http import _Handler
+
+        class _BrokenPipeFile:
+            def write(self, data):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        obs = MetricsRegistry()
+        handler = object.__new__(_Handler)
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "POST /plans HTTP/1.1"
+        handler.wfile = _BrokenPipeFile()
+        handler.server = types.SimpleNamespace(
+            front=types.SimpleNamespace(
+                service=types.SimpleNamespace(obs=obs)
+            )
+        )
+        handler.close_connection = False
+        handler._send(200, {"ok": True})  # must not raise
+        assert handler.close_connection
+        assert obs.snapshot()["service.http.client_disconnects"] == 1.0
+
+    def test_quota_rejection_is_a_429_with_retry_after(self):
+        service = ReconstructionService(
+            16, backend="vectorized",
+            admission=AdmissionPolicy(max_queue_depth_per_tenant=1),
+        )
+        server = ServiceHTTPServer(service, auto_advance=False)
+        server.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            plan = plan_for_problem(
+                problem_from_string(SMALL), target="service",
+                backend="vectorized",
+            )
+            first = _post(base + "/plans?dataset=ds-0",
+                          plan.to_json().encode("utf-8"))
+            assert first["state"] == "queued"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(base + "/plans?dataset=ds-1",
+                      plan.to_json().encode("utf-8"))
+            assert excinfo.value.code == 429
+            retry_after = excinfo.value.headers["Retry-After"]
+            assert int(retry_after) >= 1
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"].startswith("tenant quota")
+            assert payload["retry_after_seconds"] >= 1.0
+            assert payload["job"]["state"] == "rejected"
+            assert payload["job"]["retry_after_s"] == pytest.approx(
+                payload["retry_after_seconds"]
+            )
+        finally:
+            server.stop()
+            service.close()
+
+    def test_infeasible_plan_is_a_400_not_a_429(self):
+        # One V100 cannot hold a 2048^3 sub-volume: never feasible, so the
+        # front door must answer 400 (fix the request), not 429 (retry).
+        service = ReconstructionService(1, backend="vectorized")
+        server = ServiceHTTPServer(service, auto_advance=False)
+        server.start()
+        try:
+            plan = plan_for_problem(
+                problem_from_string("2048x2048x4096->2048x2048x2048"),
+                target="service", backend="vectorized",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"http://127.0.0.1:{server.port}/plans",
+                      plan.to_json().encode("utf-8"))
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read())
+            assert "infeasible" in payload["error"]
+            assert "Retry-After" not in excinfo.value.headers
+        finally:
+            server.stop()
+            service.close()
+
+    def test_connection_overflow_is_a_503(self):
+        service = ReconstructionService(
+            16, backend="vectorized", obs=MetricsRegistry()
+        )
+        server = ServiceHTTPServer(
+            service, auto_advance=False, handler_threads=1, max_connections=1
+        )
+        server.start()
+        holder = None
+        try:
+            # Occupy the only connection slot with a stalled request (the
+            # handler blocks reading a body that never arrives).  Getting
+            # bytes back means this connection itself lost a race and was
+            # 503'd — close it and take a fresh one until one sticks.
+            for _ in range(50):
+                candidate = socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10
+                )
+                candidate.sendall(
+                    b"POST /plans HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 8\r\n\r\n"
+                )
+                candidate.settimeout(0.3)
+                try:
+                    candidate.recv(1)
+                except socket.timeout:
+                    holder = candidate  # silence: a handler is blocked on it
+                    break
+                candidate.close()
+            assert holder is not None, "could not occupy the handler slot"
+            # The slot stays held until the stalled read times out, so the
+            # next connection must be shed at the door.
+            overflow = _raw_request(
+                server.port,
+                b"GET /jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )
+            assert " 503 " in overflow.splitlines()[0]
+            assert "connection limit" in overflow
+            snapshot = service.obs_snapshot()
+            assert snapshot["service.http.rejected_connections"] >= 1.0
+        finally:
+            if holder is not None:
+                holder.close()
             server.stop()
             service.close()
 
