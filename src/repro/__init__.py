@@ -56,9 +56,15 @@ Sub-packages
     a reconstruction, with a stable content hash) and the
     :class:`~repro.api.Session` executor that compiles a plan onto the
     FDK, iFDK or service path and returns a unified result.
+``repro.analysis``
+    Static analysis and dynamic sanitizers for the project's invariants:
+    the ``repro lint`` AST passes (lock discipline, spawn safety,
+    determinism, dtype discipline, error contracts) and the opt-in
+    lock-order sanitizer behind ``REPRO_LOCK_SANITIZER=1``.
 """
 
 from . import (
+    analysis,
     api,
     backends,
     bench,
@@ -74,12 +80,13 @@ from . import (
 )
 from .api import ReconstructionPlan, RunResult, Session
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ReconstructionPlan",
     "RunResult",
     "Session",
+    "analysis",
     "api",
     "backends",
     "bench",

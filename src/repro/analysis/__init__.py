@@ -1,0 +1,49 @@
+"""Static analysis and dynamic sanitizers for the project's invariants.
+
+The repo's core guarantees — lock-guarded service state, spawn-safe
+process dispatch, deterministic seeded noise, a float32 hot path, the
+CLI/HTTP error contracts — were previously enforced only by runtime
+tests.  This package checks them statically (an AST lint framework with
+five project-specific passes) and dynamically (an opt-in lock-order
+sanitizer), so invariant-breaking edits fail loudly at review time.
+
+Entry points:
+
+* ``repro lint <paths>`` / ``python -m repro.analysis <paths>`` — run
+  the lint passes; exit 0 clean, 1 findings, 2 bad invocation.
+* ``REPRO_LOCK_SANITIZER=1`` — ``tests/conftest.py`` installs
+  :class:`~repro.analysis.locksan.LockOrderSanitizer` for the test run.
+
+This package deliberately depends only on the standard library (``ast``,
+``json``, ``threading``) so importing :mod:`repro` never pays for it.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_SCOPES, LintConfig, RuleConfig, load_baseline
+from .engine import LintResult, SourceFile, format_json, format_text, lint_paths, lint_sources
+from .findings import SUPPRESSION_RULE, Finding, Suppression
+from .locksan import ENV_VAR, Inversion, LockOrderSanitizer, enabled_from_env
+from .passes import ALL_PASSES, RULES
+
+__all__ = [
+    "ALL_PASSES",
+    "DEFAULT_SCOPES",
+    "ENV_VAR",
+    "Finding",
+    "Inversion",
+    "LintConfig",
+    "LintResult",
+    "LockOrderSanitizer",
+    "RULES",
+    "RuleConfig",
+    "SUPPRESSION_RULE",
+    "SourceFile",
+    "Suppression",
+    "enabled_from_env",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_sources",
+    "load_baseline",
+]

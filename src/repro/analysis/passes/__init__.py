@@ -1,0 +1,36 @@
+"""The five project-specific lint passes.
+
+Each pass module exposes two names consumed by the engine:
+
+``RULE``
+    The rule id reported in findings, used in scopes, suppressions and
+    the baseline.
+
+``run(source: SourceFile) -> List[Finding]``
+    Analyze one parsed file and return its findings.  Passes are pure
+    functions of the source text + AST; all filtering (scope,
+    suppression, baseline) happens in the engine.
+"""
+
+from __future__ import annotations
+
+from . import (
+    determinism,
+    dtype_discipline,
+    error_contract,
+    lock_discipline,
+    spawn_safety,
+)
+
+#: Engine dispatch order (stable so output ordering is deterministic).
+ALL_PASSES = (
+    lock_discipline,
+    spawn_safety,
+    determinism,
+    dtype_discipline,
+    error_contract,
+)
+
+RULES = tuple(p.RULE for p in ALL_PASSES)
+
+__all__ = ["ALL_PASSES", "RULES"]

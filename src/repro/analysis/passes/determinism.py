@@ -1,0 +1,117 @@
+"""determinism: numeric paths must replay bit-identically.
+
+The reconstruction contract (backends, scenarios, streaming) is that the
+same inputs produce the same float32 volume, byte for byte — the
+conformance suite and the golden hashes depend on it.  Three constructs
+silently break that:
+
+* legacy ``np.random.*`` global-state calls (``seed``, ``rand``,
+  ``normal``, ...) — hidden global state shared across call sites; the
+  project uses explicitly seeded ``np.random.default_rng`` /
+  ``Generator`` objects instead;
+* the stdlib ``random`` module's global functions — same problem, plus
+  thread-unsafe state (explicit ``random.Random(seed)`` instances pass);
+* wall-clock reads (``time.time``, ``time.time_ns``, ``datetime.now``,
+  ``utcnow``, ``date.today``) — results must not depend on when the run
+  happened.  Monotonic duration clocks (``perf_counter``,
+  ``monotonic``) are fine: they time work, they never enter the data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..findings import Finding
+
+RULE = "determinism"
+
+#: np.random attributes that construct explicitly seeded state — allowed.
+_SEEDED_FACTORIES = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+#: stdlib random attributes that construct isolated state — allowed.
+_RANDOM_FACTORIES = {"Random", "SystemRandom"}
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``np.random.seed`` -> ["np", "random", "seed"]; None if not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _enclosing_symbol(tree: ast.Module, lineno: int) -> str:
+    symbol = ""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            if node.lineno <= lineno <= end:
+                symbol = node.name if not symbol else f"{symbol}.{node.name}"
+    return symbol
+
+
+def run(source) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if not chain:
+            continue
+        message = None
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if (
+            len(chain) >= 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] not in _SEEDED_FACTORIES
+        ):
+            message = (
+                f"np.random.{chain[2]} uses hidden global RNG state; use an "
+                f"explicitly seeded np.random.default_rng(...) generator"
+            )
+        # random.<fn>(...) from the stdlib global instance.
+        elif (
+            len(chain) == 2
+            and chain[0] == "random"
+            and chain[1] not in _RANDOM_FACTORIES
+        ):
+            message = (
+                f"random.{chain[1]} uses the global stdlib RNG; use an "
+                f"explicitly seeded random.Random(seed) instance"
+            )
+        # Wall-clock reads.
+        elif len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+            message = (
+                f"wall-clock read {'.'.join(chain)}() makes numeric output "
+                f"depend on when the run happened; thread a timestamp in "
+                f"from the caller"
+            )
+        if message:
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=source.path,
+                    line=node.lineno,
+                    message=message,
+                    symbol=_enclosing_symbol(source.tree, node.lineno),
+                )
+            )
+    return findings

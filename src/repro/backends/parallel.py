@@ -102,7 +102,7 @@ class WorkerPool:
             raise ValueError(f"workers must be a positive integer (got {workers!r})")
         self.workers = int(workers)
         self.name = name
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _ensure(self) -> ThreadPoolExecutor:
@@ -136,7 +136,8 @@ class WorkerPool:
 
     @property
     def started(self) -> bool:
-        return self._executor is not None
+        with self._lock:
+            return self._executor is not None
 
 
 def refine_tiles(
@@ -337,7 +338,7 @@ class ParallelBackend(ComputeBackend):
             raise ValueError("byte_budget must be positive")
         self._workers = int(workers) if workers is not None else None
         self.byte_budget = int(byte_budget)
-        self._pool: Optional[WorkerPool] = None
+        self._pool: Optional[WorkerPool] = None  # guarded-by: _init_lock
         self._init_lock = threading.Lock()
 
     @property
@@ -468,4 +469,6 @@ class ParallelBackend(ComputeBackend):
     @property
     def pool_started(self) -> bool:
         """Whether the pool currently holds live worker threads."""
-        return self._pool is not None and self._pool.started
+        with self._init_lock:
+            pool = self._pool
+        return pool is not None and pool.started

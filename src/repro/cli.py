@@ -1,6 +1,6 @@
 """Command-line interface for the iFDK reproduction.
 
-Nine subcommands cover the workflows a downstream user needs:
+Ten subcommands cover the workflows a downstream user needs:
 
 ``reconstruct``
     Synthesize Shepp-Logan projections for a given problem size and run the
@@ -37,6 +37,10 @@ Nine subcommands cover the workflows a downstream user needs:
     Render a span trace recorded with ``--trace-out`` (on ``reconstruct``,
     ``serve`` or ``submit``) as a summary tree, Chrome trace-event JSON or
     JSON-lines.
+``lint``
+    Run the project-invariant static analysis passes
+    (:mod:`repro.analysis`) over files or packages: exit 0 when clean,
+    1 on findings, 2 on a bad invocation.
 
 The flags that describe a reconstruction (problem, backend, workers,
 scenario, ramp filter) are registered once by :func:`add_plan_args` and
@@ -445,6 +449,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: every job is full_scan)")
     trace.add_argument("--output", "-o", type=Path, required=True,
                        help="write the trace JSON to this file")
+
+    lint = sub.add_parser(
+        "lint", help="run the project-invariant static analysis passes"
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint (e.g. src/repro)")
+    lint.add_argument("--config", type=Path, default=None,
+                      help="JSON config overriding rule scopes "
+                           "(see repro.analysis.config)")
+    lint.add_argument("--baseline", type=Path, default=None,
+                      help="JSON baseline of accepted findings "
+                           "(e.g. lint-baseline.json)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="output format (default: text)")
     return parser
 
 
@@ -850,6 +868,22 @@ def _format_service_report(report) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import format_json, format_text, lint_paths
+
+    # lint_paths raises ValueError on missing paths / malformed config or
+    # baseline, which main() maps to exit code 2 — distinct from exit 1
+    # (findings exist).
+    result = lint_paths(
+        args.paths, config_file=args.config, baseline_file=args.baseline
+    )
+    if args.format == "json":
+        print(json.dumps(format_json(result), indent=2))
+    else:
+        print(format_text(result))
+    return result.exit_code()
+
+
 _COMMANDS = {
     "reconstruct": _cmd_reconstruct,
     "plan": _cmd_plan,
@@ -860,6 +894,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

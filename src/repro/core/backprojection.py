@@ -223,7 +223,7 @@ def accumulate_proposed(
     w_t = (w.T).astype(DEFAULT_DTYPE)
     y_base_t = y_base.T
 
-    local_ks = np.arange(z_start, z_stop)
+    local_ks = np.arange(z_start, z_stop, dtype=np.intp)
 
     if use_symmetry:
         # Pair global slice k with its mirror Nz-1-k whenever both live in

@@ -70,7 +70,7 @@ def cosine_weight_table(geometry: CBCTGeometry) -> np.ndarray:
     offsets accordingly.
     """
     u = geometry.detector_u_mm()
-    v = (np.arange(geometry.nv) - (geometry.nv - 1) / 2.0) * geometry.dv
+    v = (np.arange(geometry.nv, dtype=np.float64) - (geometry.nv - 1) / 2.0) * geometry.dv
     uu, vv = np.meshgrid(u, v)
     d = geometry.sdd
     return (d / np.sqrt(d * d + uu * uu + vv * vv)).astype(DEFAULT_DTYPE)

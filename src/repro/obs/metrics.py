@@ -40,7 +40,7 @@ class Counter:
     def __init__(self, name: str):
         self.name = name
         self._lock = threading.Lock()
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -65,8 +65,8 @@ class Gauge:
     def __init__(self, name: str):
         self.name = name
         self._lock = threading.Lock()
-        self._value = 0.0
-        self._max = 0.0
+        self._value = 0.0  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -101,8 +101,8 @@ class Histogram:
     def __init__(self, name: str):
         self.name = name
         self._lock = threading.Lock()
-        self._sorted: List[float] = []
-        self._sum = 0.0
+        self._sorted: List[float] = []  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -206,7 +206,7 @@ class MetricsRegistry:
     def __init__(self, *, enabled: bool = True):
         self.enabled = enabled
         self._lock = threading.Lock()
-        self._instruments: Dict[str, Any] = {}
+        self._instruments: Dict[str, Any] = {}  # guarded-by: _lock
 
     def _get(self, name: str, cls):
         if not self.enabled:

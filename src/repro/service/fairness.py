@@ -90,14 +90,14 @@ class FairShareQueue(JobQueue):
         self.obs = obs if obs is not None else NULL_METRICS
         # Operator-configured weights win; plan-carried overrides register
         # lazily for tenants the policy does not name.
-        self._weights: Dict[str, float] = dict(self.policy.tenant_weights or {})
-        self._inflight_caps: Dict[str, int] = {}
+        self._weights: Dict[str, float] = dict(self.policy.tenant_weights or {})  # guarded-by: caller
+        self._inflight_caps: Dict[str, int] = {}  # guarded-by: caller
         # Lifetime service accounting, charged when a job is placed:
         # raw estimated seconds and weight-normalized seconds per tenant.
-        self._service_seconds: Dict[str, float] = {}
-        self._attained: Dict[str, float] = {}
+        self._service_seconds: Dict[str, float] = {}  # guarded-by: caller
+        self._attained: Dict[str, float] = {}  # guarded-by: caller
         self.deficit_rounds = 0
-        self.quota_rejections: Dict[str, int] = {}
+        self.quota_rejections: Dict[str, int] = {}  # guarded-by: caller
         self.aged_promotions = 0
 
     # ------------------------------------------------------------------ #

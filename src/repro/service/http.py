@@ -225,7 +225,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if parts == ["advance"]:
             front.advance()
-            self._send(200, {"ok": True, "clock_seconds": service.clock_seconds})
+            # clock_seconds is guarded by the service lock; an unlocked
+            # read can tear against an event-loop advance on another
+            # handler thread.
+            with service._lock:
+                clock = service.clock_seconds
+            self._send(200, {"ok": True, "clock_seconds": clock})
             return
         self._send(404, {"error": f"no such resource {parsed.path!r}"})
 

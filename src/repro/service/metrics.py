@@ -63,10 +63,12 @@ class QueueSample:
 class ServiceMetrics:
     """Accumulates per-job outcomes and reduces them to service KPIs."""
 
-    completed: List[ReconstructionJob] = field(default_factory=list)
-    rejected: List[ReconstructionJob] = field(default_factory=list)
-    failed: List[ReconstructionJob] = field(default_factory=list)
-    queue_samples: List[QueueSample] = field(default_factory=list)
+    # No lock of its own: the owning service's lock serializes mutation
+    # and snapshot (report() copies these lists under that lock).
+    completed: List[ReconstructionJob] = field(default_factory=list)  # guarded-by: caller
+    rejected: List[ReconstructionJob] = field(default_factory=list)  # guarded-by: caller
+    failed: List[ReconstructionJob] = field(default_factory=list)  # guarded-by: caller
+    queue_samples: List[QueueSample] = field(default_factory=list)  # guarded-by: caller
     # Dispatch-level fault counters (process dispatcher): cumulative over
     # the metrics window, folded into summary() when non-zero.
     dispatch_retries: int = 0

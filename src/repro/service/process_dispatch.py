@@ -220,9 +220,9 @@ class ProcessDispatcher:
         self.on_timeout = on_timeout
         self.on_crash = on_crash
 
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[ProcessPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._pending: List[_Pending] = []
+        self._pending: List[_Pending] = []  # guarded-by: _lock
         self._epoch = time.perf_counter()
         self.batches_dispatched = 0
         self.jobs_executed = 0

@@ -148,9 +148,11 @@ class JobQueue:
         estimator: Optional[Callable[[ReconstructionJob], Optional[float]]] = None,
     ):
         self.policy = policy or AdmissionPolicy()
-        self._jobs: List[ReconstructionJob] = []
-        self.offered = 0
-        self.rejected = 0
+        # The queue has no lock of its own: the owning service serializes
+        # every call on its lock (see ReconstructionService).
+        self._jobs: List[ReconstructionJob] = []  # guarded-by: caller
+        self.offered = 0  # guarded-by: caller
+        self.rejected = 0  # guarded-by: caller
         # Lazily built: most callers (the service) estimate before offering,
         # so the model is only constructed when a job actually needs it.
         self._estimator = estimator

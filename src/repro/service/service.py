@@ -157,7 +157,7 @@ class ReconstructionService:
             cache=self.cache,
             max_gpus_per_job=max_gpus_per_job,
         )
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics()  # guarded-by: _lock
         # Lifetime instruments (queue waits, cache hits, scheduler cycles).
         # ServiceMetrics stays the source of truth for per-job KPI
         # reductions; the registry covers what per-job records cannot.
@@ -165,15 +165,15 @@ class ReconstructionService:
         # Any fair-share knob on the admission policy upgrades the queue
         # to weighted deficit-round-robin with quotas and aging.
         if admission is not None and admission.fairness_enabled:
-            self.queue: JobQueue = FairShareQueue(admission, obs=self.obs)
+            self.queue: JobQueue = FairShareQueue(admission, obs=self.obs)  # guarded-by: _lock
         else:
-            self.queue = JobQueue(admission)
-        self._running: List[Placement] = []
-        self._finish_heap: List = []  # (finish, sequence, Placement)
-        self.clock_seconds = 0.0
+            self.queue = JobQueue(admission)  # guarded-by: _lock
+        self._running: List[Placement] = []  # guarded-by: _lock
+        self._finish_heap: List = []  # guarded-by: _lock  (finish, sequence, Placement)
+        self.clock_seconds = 0.0  # guarded-by: _lock
         # Registry of every job this service has seen (by id), for the
         # HTTP front door and restart recovery.
-        self.jobs: Dict[str, ReconstructionJob] = {}
+        self.jobs: Dict[str, ReconstructionJob] = {}  # guarded-by: _lock
         self.store: Optional[JobStore] = (
             JobStore(state_dir) if state_dir is not None else None
         )
@@ -187,7 +187,8 @@ class ReconstructionService:
 
     @property
     def running_jobs(self) -> List[ReconstructionJob]:
-        return [placement.job for placement in self._running]
+        with self._lock:
+            return [placement.job for placement in self._running]
 
     # ------------------------------------------------------------------ #
     # Restart recovery and pilot-outcome callbacks
@@ -202,21 +203,22 @@ class ReconstructionService:
         ``submit`` path at their original arrival times: at-least-once
         execution, no lost jobs, no duplicates (the journal dedups by id).
         """
-        recovered = self.store.recover()
-        self.recovered_jobs = len(recovered)
-        for job in recovered.completed:
-            self.jobs[job.job_id] = job
-            self.metrics.record_completion(job)
-        for job in recovered.rejected:
-            self.jobs[job.job_id] = job
-            self.metrics.record_rejection(job)
-        for job in recovered.failed:
-            self.jobs[job.job_id] = job
-            self.metrics.record_failure(job)
-        for job in recovered.pending:
-            self.submit(job, now=job.arrival_seconds)
-        if recovered.pending:
-            self.obs.counter("service.jobs_recovered").inc(len(recovered.pending))
+        with self._lock:
+            recovered = self.store.recover()
+            self.recovered_jobs = len(recovered)
+            for job in recovered.completed:
+                self.jobs[job.job_id] = job
+                self.metrics.record_completion(job)
+            for job in recovered.rejected:
+                self.jobs[job.job_id] = job
+                self.metrics.record_rejection(job)
+            for job in recovered.failed:
+                self.jobs[job.job_id] = job
+                self.metrics.record_failure(job)
+            for job in recovered.pending:
+                self.submit(job, now=job.arrival_seconds)
+            if recovered.pending:
+                self.obs.counter("service.jobs_recovered").inc(len(recovered.pending))
 
     def _on_pilot_executed(self, job: ReconstructionJob) -> None:
         with self._lock:
@@ -410,14 +412,18 @@ class ReconstructionService:
         dispatcher's worker accounting restarts with the metrics, so a
         replay's summary always agrees with the dispatcher's counters.
         """
-        if self._running or len(self.queue):
-            raise RuntimeError("cannot reset while jobs are queued or running")
-        self.metrics = ServiceMetrics()
-        self._finish_heap.clear()
-        self.clock_seconds = 0.0
-        if self.dispatcher is not None:
-            self.dispatcher.drain()
-            self.dispatcher.reset_accounting()
+        with self._lock:
+            if self._running or len(self.queue):
+                raise RuntimeError("cannot reset while jobs are queued or running")
+            self.metrics = ServiceMetrics()
+            self._finish_heap.clear()
+            self.clock_seconds = 0.0
+            dispatcher = self.dispatcher
+        # Draining waits on pilot callbacks that take the service lock from
+        # worker threads, so it must happen after the lock is released.
+        if dispatcher is not None:
+            dispatcher.drain()
+            dispatcher.reset_accounting()
 
     def replay(self, trace: ArrivalTrace) -> ServiceReport:
         """Replay a trace from t=0 and return the service report.
@@ -459,7 +465,9 @@ class ReconstructionService:
         """
         arrivals = sorted(arrivals, key=lambda j: (j.arrival_seconds, j.sequence))
         next_arrival = 0
-        self._dispatch(self.clock_seconds)
+        with self._lock:
+            start = self.clock_seconds
+        self._dispatch(start)
         while True:
             with self._lock:
                 if not (

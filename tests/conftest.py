@@ -8,9 +8,12 @@ locally and is marked ``slow``.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 import pytest
 
+from repro.analysis import LockOrderSanitizer, enabled_from_env
 from repro.core import (
     CBCTGeometry,
     EllipsoidPhantom,
@@ -22,9 +25,30 @@ from repro.core import (
     shepp_logan_ellipsoids,
 )
 
+#: The session's lock-order sanitizer, installed only when
+#: REPRO_LOCK_SANITIZER=1 (see repro.analysis.locksan).
+_LOCK_SANITIZER: LockOrderSanitizer | None = None
+
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: slower end-to-end tests")
+    global _LOCK_SANITIZER
+    if enabled_from_env() and _LOCK_SANITIZER is None:
+        _LOCK_SANITIZER = LockOrderSanitizer()
+        _LOCK_SANITIZER.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _LOCK_SANITIZER
+    if _LOCK_SANITIZER is None:
+        return
+    sanitizer, _LOCK_SANITIZER = _LOCK_SANITIZER, None
+    sanitizer.uninstall()
+    print(f"\n{sanitizer.report()}", file=sys.stderr)
+    if sanitizer.inversions:
+        # Any observed A->B / B->A pair is a latent deadlock: fail the
+        # whole session even if every test passed.
+        session.exitstatus = 3
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,9 @@
+"""Known-bad fixture: main() without the ValueError -> exit 2 contract."""
+
+
+def main(argv=None):
+    return run(argv)
+
+
+def run(argv):
+    return 0

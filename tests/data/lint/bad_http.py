@@ -1,0 +1,22 @@
+"""Known-bad fixture: HTTP handlers that leak exceptions."""
+
+
+class Handler:
+    def do_GET(self):
+        self._route()
+
+    def do_POST(self):
+        body = self._read_body()
+        self._guard(lambda: body)
+
+    def _guard(self, route):
+        try:
+            route()
+        except Exception:
+            pass
+
+    def _route(self):
+        pass
+
+    def _read_body(self):
+        return b""

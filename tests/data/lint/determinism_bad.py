@@ -1,0 +1,22 @@
+"""Known-bad fixture: hidden RNG state and wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+
+
+def bad_global_seed():
+    np.random.seed(0)
+
+
+def bad_global_draw():
+    return np.random.normal(size=4)
+
+
+def bad_stdlib_random():
+    return random.random()
+
+
+def bad_wall_clock():
+    return time.time()

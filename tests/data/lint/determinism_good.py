@@ -1,0 +1,21 @@
+"""Known-good fixture: explicitly seeded state and monotonic clocks."""
+
+import random
+import time
+
+import numpy as np
+
+
+def good_seeded_generator(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)
+
+
+def good_stdlib_instance(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def good_duration_clock():
+    start = time.perf_counter()
+    return time.perf_counter() - start

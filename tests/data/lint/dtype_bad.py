@@ -1,0 +1,15 @@
+"""Known-bad fixture: silent float64 promotion on the hot path."""
+
+import numpy as np
+
+
+def bad_arange():
+    return np.arange(10)
+
+
+def bad_zeros():
+    return np.zeros((4, 4))
+
+
+def bad_scalar_promotion(volume):
+    return volume * np.float64(0.5)

@@ -1,0 +1,20 @@
+"""Known-good fixture: every constructor states its dtype.
+
+Explicit float64 is allowed (stated intent, e.g. geometry tables built in
+double then cast), and bare Python floats are weak-typed — they preserve a
+float32 array's dtype.
+"""
+
+import numpy as np
+
+
+def good_explicit_f32():
+    return np.zeros((4, 4), dtype=np.float32)
+
+
+def good_explicit_f64_table(n):
+    return np.arange(n, dtype=np.float64)
+
+
+def good_weak_scalar(volume):
+    return volume * 0.5

@@ -1,0 +1,15 @@
+"""Known-good fixture: main() maps ValueError to exit code 2."""
+
+import sys
+
+
+def main(argv=None):
+    try:
+        return run(argv)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def run(argv):
+    return 0

@@ -1,0 +1,27 @@
+"""Known-good fixture: every handler stays behind the guard boundary."""
+
+
+class Handler:
+    def do_GET(self):
+        self._guard(self._route_get)
+
+    def do_POST(self):
+        try:
+            self._route_post()
+        except Exception:
+            self._send_error()
+
+    def _guard(self, route):
+        try:
+            route()
+        except Exception:
+            self._send_error()
+
+    def _route_get(self):
+        pass
+
+    def _route_post(self):
+        pass
+
+    def _send_error(self):
+        pass

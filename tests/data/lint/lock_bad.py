@@ -1,0 +1,27 @@
+"""Known-bad fixture: guarded attributes touched without their lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = {}  # guarded-by: _lock
+        self.clock = 0.0  # guarded-by: _lock
+
+    def ok_locked(self):
+        with self._lock:
+            return dict(self.jobs)
+
+    def bad_read(self):
+        return len(self.jobs)
+
+    def bad_write(self):
+        self.clock = 1.0
+
+    def bad_escaping_closure(self):
+        with self._lock:
+            def later():
+                return self.jobs
+
+            return later

@@ -1,0 +1,32 @@
+"""Known-good fixture: every guarded access holds the right lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.jobs = {}  # guarded-by: _lock
+        self.clock = 0.0  # guarded-by: _lock
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.jobs), self.clock
+
+    def advance(self, dt):
+        with self._lock:
+            self.clock += dt
+            self._advance_locked()
+
+    def _advance_locked(self):  # caller-locked
+        self.jobs.clear()
+
+
+class CallerGuarded:
+    """The `caller` guard documents external serialization; not enforced."""
+
+    def __init__(self):
+        self._items = []  # guarded-by: caller
+
+    def push(self, item):
+        self._items.append(item)

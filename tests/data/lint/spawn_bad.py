@@ -1,0 +1,42 @@
+"""Known-bad fixture: unpicklable work shipped to a process pool."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+
+def module_level(x):
+    return x
+
+
+class Dispatcher:
+    def __init__(self):
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(2)
+        return self._executor
+
+    def bad_lambda(self):
+        self._executor.submit(lambda: 1)
+
+    def bad_bound_method(self):
+        executor = self._ensure()
+        executor.submit(self.helper, 1)
+
+    def helper(self, x):
+        return x
+
+    def bad_nested_def(self):
+        def inner():
+            return 1
+
+        self._ensure().submit(inner)
+
+    def bad_initializer(self):
+        return ProcessPoolExecutor(2, initializer=lambda: None)
+
+
+def bad_fork_start():
+    multiprocessing.set_start_method("fork")

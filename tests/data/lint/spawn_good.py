@@ -1,0 +1,34 @@
+"""Known-good fixture: process pools get module-level functions only.
+
+Thread pools are exempt by design: their closures never cross a process
+boundary (the parallel backend depends on that).
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional
+
+
+def work(payload):
+    return payload
+
+
+def init_worker():
+    pass
+
+
+class Dispatcher:
+    def __init__(self):
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._threads = ThreadPoolExecutor(2)
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(2, initializer=init_worker)
+        return self._executor
+
+    def ok_module_function(self):
+        self._ensure().submit(work, 1)
+
+    def ok_thread_pool_closure(self):
+        local = []
+        self._threads.submit(lambda: local.append(1))

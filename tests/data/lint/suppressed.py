@@ -1,0 +1,11 @@
+"""Fixture: suppression with a reason works; without one it is a finding."""
+
+import numpy as np
+
+
+def suppressed_with_reason():
+    return np.arange(10)  # repro-lint: disable=dtype-discipline -- fixture: integer index table, promotion is fine
+
+
+def suppressed_missing_reason():
+    return np.arange(10)  # repro-lint: disable=dtype-discipline

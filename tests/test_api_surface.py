@@ -19,6 +19,7 @@ REPRO_EXPORTS = [
     "RunResult",
     "Session",
     "__version__",
+    "analysis",
     "api",
     "backends",
     "bench",
